@@ -1,0 +1,1 @@
+"""Benchmark harness package (run with ``pytest benchmarks/ --benchmark-only``)."""

@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark measures two things: wall-clock time of the *simulator*
+(pytest-benchmark's native metric) and -- the number the paper is actually
+about -- the metered **round count**, recorded in ``extra_info`` as
+``clique_rounds`` so it lands in the saved benchmark JSON.  Simulations are
+deterministic, so one iteration suffices (``benchmark.pedantic``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+def run_once(benchmark, fn: Callable[[], Any]):
+    """Run ``fn`` exactly once under the benchmark timer and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

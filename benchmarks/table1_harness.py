@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""E16 -- print the consolidated, measured Table 1.
+
+Usage::
+
+    python benchmarks/table1_harness.py           # quick sweep (~2-4 min)
+    python benchmarks/table1_harness.py --full    # adds the largest sizes
+
+Every row runs the corresponding algorithm of this reproduction over a
+sweep of clique sizes, prints the metered round counts, the fitted growth
+exponent, the paper's bound, the prior-work bound, and -- where the prior
+work is implemented (Dolev et al.) -- its measured rounds and the resulting
+speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import format_table1, run_table1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="include the largest sweep sizes (slower)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    reports = run_table1(scale="full" if args.full else "quick", seed=args.seed)
+    print(format_table1(reports))
+    print(f"(harness wall time: {time.time() - started:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

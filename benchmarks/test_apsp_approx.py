@@ -1,0 +1,58 @@
+"""E10 -- Table 1 "(1+o(1))-approximate APSP" (Theorem 9).
+
+Measures both sides of the trade: the realised approximation ratio (always
+within the proven (1+delta)^{ceil(log n)} bound, usually far better) and
+the round cost as delta tightens -- DESIGN.md ablation 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import INF
+from repro.distances import apsp_approx
+from repro.graphs import apsp_reference, random_weighted_digraph
+
+from .conftest import run_once
+
+
+def _measured_ratio(value, ref):
+    finite = ref < INF
+    if not finite.any():
+        return 1.0
+    return float(np.max(value[finite] / np.maximum(ref[finite], 1)))
+
+
+@pytest.mark.parametrize("n", [16, 25])
+def test_apsp_approx(benchmark, n):
+    g = random_weighted_digraph(n, 0.4, 20, seed=n)
+    ref = apsp_reference(g)
+
+    def run():
+        return apsp_approx(g, delta=0.3)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    ratio = _measured_ratio(result.value, ref)
+    benchmark.extra_info["measured_ratio"] = ratio
+    benchmark.extra_info["ratio_bound"] = result.extras["ratio_bound"]
+    assert ratio <= result.extras["ratio_bound"] + 1e-9
+    finite = ref < INF
+    assert (result.value[finite] >= ref[finite]).all()
+
+
+@pytest.mark.parametrize("delta", [0.5, 0.3, 0.15])
+def test_delta_sweep(benchmark, delta):
+    """Accuracy/rounds trade-off of Lemma 20 (smaller delta = more rounds)."""
+    n = 16
+    g = random_weighted_digraph(n, 0.4, 20, seed=3)
+    ref = apsp_reference(g)
+
+    def run():
+        return apsp_approx(g, delta=delta)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["delta"] = delta
+    benchmark.extra_info["measured_ratio"] = _measured_ratio(result.value, ref)

@@ -1,0 +1,54 @@
+"""E9 -- Table 1 "APSP with weighted diameter U": O~(U n^rho) (Cor. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import INF
+from repro.distances import apsp_bounded, apsp_small_diameter
+from repro.graphs import apsp_reference, random_weighted_digraph
+
+from .conftest import run_once
+
+SIZES = [16, 49, 100]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_apsp_bounded_u8(benchmark, n):
+    g = random_weighted_digraph(n, 0.6, 3, seed=n)
+
+    def run():
+        return apsp_bounded(g, 8)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    ref = apsp_reference(g)
+    assert np.array_equal(result.value, np.where(ref <= 8, ref, INF))
+
+
+@pytest.mark.parametrize("cap", [2, 4, 8, 16])
+def test_rounds_scale_with_u(benchmark, cap):
+    """The U-factor of Lemma 19, measured: larger caps cost more rounds."""
+    n = 49
+    g = random_weighted_digraph(n, 0.6, 3, seed=5)
+
+    def run():
+        return apsp_bounded(g, cap)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["cap"] = cap
+
+
+def test_apsp_unknown_diameter(benchmark):
+    n = 49
+    g = random_weighted_digraph(n, 0.6, 3, seed=2)
+
+    def run():
+        return apsp_small_diameter(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["diameter_guess"] = result.extras["diameter_guess"]
+    assert np.array_equal(result.value, apsp_reference(g))

@@ -1,0 +1,61 @@
+"""E8 -- Table 1 "weighted directed APSP": O(n^{1/3} log n) + routing tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import apsp_exact
+from repro.graphs import (
+    apsp_reference,
+    grid_graph,
+    random_weighted_digraph,
+    validate_routing_table,
+)
+from repro.matmul.exponent import fit_exponent
+
+from .conftest import run_once
+
+SIZES = [27, 64, 125]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_apsp_exact_with_tables(benchmark, n):
+    g = random_weighted_digraph(n, 0.3, 9, seed=n)
+
+    def run():
+        return apsp_exact(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["squarings"] = result.extras["squarings"]
+    assert np.array_equal(result.value, apsp_reference(g))
+    assert validate_routing_table(g, result.value, result.extras["next_hop"])
+
+
+def test_apsp_exact_exponent(benchmark):
+    def run():
+        return [
+            apsp_exact(
+                random_weighted_digraph(n, 0.3, 9, seed=n),
+                with_routing_tables=False,
+            ).rounds
+            for n in SIZES
+        ]
+
+    rounds = run_once(benchmark, run)
+    benchmark.extra_info["rounds"] = rounds
+    benchmark.extra_info["fitted_exponent"] = fit_exponent(SIZES, rounds)
+    # O(n^{1/3} log n): clearly sub-half-power growth.
+    assert fit_exponent(SIZES, rounds) < 0.55
+
+
+def test_apsp_grid_road_network(benchmark):
+    g = grid_graph(5, 5, max_weight=9, seed=1)
+
+    def run():
+        return apsp_exact(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    assert np.array_equal(result.value, apsp_reference(g))

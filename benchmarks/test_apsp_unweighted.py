@@ -1,0 +1,55 @@
+"""E11 -- Table 1 "unweighted undirected APSP": Seidel in O~(n^rho)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import apsp_unweighted
+from repro.graphs import bfs_distances_reference, gnp_random_graph
+from repro.matmul.exponent import fit_exponent
+
+from .conftest import run_once
+
+SIZES = [16, 49, 100, 196]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_seidel_apsp(benchmark, n):
+    g = gnp_random_graph(n, 0.2, seed=n)
+
+    def run():
+        return apsp_unweighted(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["levels"] = result.extras["levels"]
+    assert np.array_equal(result.value, bfs_distances_reference(g))
+
+
+def test_seidel_exponent(benchmark):
+    def run():
+        return [
+            apsp_unweighted(gnp_random_graph(n, 0.2, seed=n)).rounds
+            for n in SIZES
+        ]
+
+    rounds = run_once(benchmark, run)
+    benchmark.extra_info["rounds"] = rounds
+    benchmark.extra_info["fitted_exponent"] = fit_exponent(SIZES, rounds)
+    assert fit_exponent(SIZES, rounds) < 1.0
+
+
+@pytest.mark.parametrize("engine", ["bilinear", "semiring"])
+def test_engine_ablation(benchmark, engine):
+    """DESIGN.md ablation 3: Seidel on the fast vs the 3D engine."""
+    n = 49 if engine == "bilinear" else 64
+    g = gnp_random_graph(n, 0.2, seed=1)
+
+    def run():
+        return apsp_unweighted(g, method=engine)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["engine"] = engine
+    assert np.array_equal(result.value, bfs_distances_reference(g))

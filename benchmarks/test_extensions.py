@@ -1,0 +1,82 @@
+"""Extension benchmarks: bottleneck APSP, k-path, components, and the
+broadcast-clique separation (paper §4, Corollary 24).
+
+These back the DESIGN.md extension inventory: the semiring engine is
+generic (max-min), the colour-coding machinery transfers to paths, Boolean
+closure yields components, and the broadcast model provably cannot keep up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clique import CongestedClique
+from repro.clique.broadcast_clique import (
+    BroadcastCongestedClique,
+    broadcast_clique_matmul,
+)
+from repro.distances import apsp_bottleneck, bottleneck_reference
+from repro.distances.components import components_reference, connected_components
+from repro.graphs import gnp_random_graph, planted_cycle_graph, random_weighted_digraph
+from repro.matmul.semiring3d import semiring_matmul
+from repro.subgraphs import detect_k_path
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("n", [27, 64, 125])
+def test_bottleneck_apsp(benchmark, n):
+    g = random_weighted_digraph(n, 0.3, 50, seed=n)
+
+    def run():
+        return apsp_bottleneck(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    assert np.array_equal(result.value, bottleneck_reference(g))
+
+
+@pytest.mark.parametrize("n", [16, 49, 100])
+def test_connected_components(benchmark, n):
+    g = gnp_random_graph(n, 2.0 / n, seed=n)
+
+    def run():
+        return connected_components(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["components"] = result.extras["component_count"]
+    assert np.array_equal(result.value, components_reference(g))
+
+
+@pytest.mark.parametrize("n", [16, 49])
+def test_k_path_detection(benchmark, n):
+    g = planted_cycle_graph(n, 6, seed=n, extra_edge_prob=0.4)
+
+    def run():
+        return detect_k_path(g, 4, trials=2, rng=np.random.default_rng(0))
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+
+
+@pytest.mark.parametrize("n", [27, 64, 125])
+def test_broadcast_clique_separation(benchmark, n):
+    """Corollary 24, demonstrated: unicast O(n^{1/3}) vs broadcast Theta(n)."""
+    rng = np.random.default_rng(n)
+    s = rng.integers(0, 2, (n, n), dtype=np.int64)
+    t = rng.integers(0, 2, (n, n), dtype=np.int64)
+
+    def run():
+        bc = BroadcastCongestedClique(n)
+        broadcast_clique_matmul(bc, s, t)
+        unicast = CongestedClique(n)
+        semiring_matmul(unicast, s, t)
+        return bc.rounds, unicast.rounds
+
+    bc_rounds, unicast_rounds = run_once(benchmark, run)
+    benchmark.extra_info["broadcast_rounds"] = bc_rounds
+    benchmark.extra_info["unicast_rounds"] = unicast_rounds
+    assert bc_rounds >= n
+    assert unicast_rounds < bc_rounds

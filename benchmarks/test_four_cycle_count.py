@@ -1,0 +1,56 @@
+"""E5 -- Table 1 "4-cycle counting": O(n^rho) via the trace formula."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import four_cycle_count_reference, gnp_random_graph
+from repro.matmul.exponent import fit_exponent
+from repro.subgraphs import count_five_cycles, count_four_cycles
+
+from .conftest import run_once
+
+SIZES = [16, 49, 100, 196]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_four_cycle_counting(benchmark, n):
+    g = gnp_random_graph(n, 0.3, seed=7 * n)
+
+    def run():
+        return count_four_cycles(g, method="bilinear")
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    assert result.value == four_cycle_count_reference(g)
+
+
+def test_four_cycle_counting_exponent(benchmark):
+    def run():
+        return [
+            count_four_cycles(
+                gnp_random_graph(n, 0.3, seed=7 * n), method="bilinear"
+            ).rounds
+            for n in SIZES
+        ]
+
+    rounds = run_once(benchmark, run)
+    benchmark.extra_info["rounds"] = rounds
+    benchmark.extra_info["fitted_exponent"] = fit_exponent(SIZES, rounds)
+    assert fit_exponent(SIZES, rounds) < 0.8
+
+
+@pytest.mark.parametrize("n", [16, 49])
+def test_five_cycle_counting_extension(benchmark, n):
+    """The k=5 trace-formula extension (paper: 'similar formulas exist')."""
+    from repro.graphs import count_cycles_brute
+
+    g = gnp_random_graph(n, 0.25, seed=n)
+
+    def run():
+        return count_five_cycles(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    if n <= 16:
+        assert result.value == count_cycles_brute(g, 5)

@@ -1,0 +1,67 @@
+"""E4 -- Table 1 "4-cycle detection": Theorem 4's O(1) vs Dolev O(n^{1/2}).
+
+The headline shape: our round count stays flat as n grows while the
+baseline's climbs; both always agree with the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import dolev_four_cycle_detect
+from repro.graphs import bipartite_random_graph, four_cycle_count_reference
+from repro.matmul.exponent import fit_exponent
+from repro.subgraphs import detect_four_cycles
+
+from .conftest import run_once
+
+SIZES = [16, 36, 64, 100, 144, 196]
+
+
+def _workload(n: int):
+    # Constant average degree keeps C4 presence varied across sizes.
+    return bipartite_random_graph(n, 4.0 / n, seed=n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_four_cycle_detection_theorem4(benchmark, n):
+    g = _workload(n)
+
+    def run():
+        return detect_four_cycles(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    assert result.value == (four_cycle_count_reference(g) > 0)
+
+
+@pytest.mark.parametrize("n", SIZES[:4])
+def test_four_cycle_detection_dolev(benchmark, n):
+    g = _workload(n)
+
+    def run():
+        return dolev_four_cycle_detect(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    assert result.value == (four_cycle_count_reference(g) > 0)
+
+
+def test_flatness_vs_baseline_growth(benchmark):
+    def run():
+        ours, prior = [], []
+        for n in SIZES[:4]:
+            g = _workload(n)
+            ours.append(detect_four_cycles(g).rounds)
+            prior.append(dolev_four_cycle_detect(g).rounds)
+        return ours, prior
+
+    ours, prior = run_once(benchmark, run)
+    benchmark.extra_info["our_rounds"] = ours
+    benchmark.extra_info["dolev_rounds"] = prior
+    our_exp = fit_exponent(SIZES[:4], ours)
+    prior_exp = fit_exponent(SIZES[:4], prior)
+    benchmark.extra_info["our_exponent"] = our_exp
+    benchmark.extra_info["dolev_exponent"] = prior_exp
+    assert our_exp < 0.2  # O(1): essentially flat
+    assert prior_exp > our_exp

@@ -1,0 +1,73 @@
+"""E7 -- Table 1 "girth": O~(n^rho); the first algorithm in this model.
+
+Covers both Theorem 15 branches (sparse: learn the graph in O(m/n) rounds;
+dense: colour-coding detection) plus the directed Corollary 16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import girth_directed, girth_undirected
+from repro.graphs import (
+    cycle_graph,
+    cycle_with_trees,
+    dense_small_girth_graph,
+    girth_reference,
+    gnp_random_graph,
+)
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("n", [25, 64, 121, 225])
+def test_girth_sparse_branch(benchmark, n):
+    g = cycle_with_trees(n, 7, seed=n)
+
+    def run():
+        return girth_undirected(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["branch"] = result.extras["branch"]
+    assert result.value == 7
+
+
+@pytest.mark.parametrize("n", [16, 25, 36])
+def test_girth_dense_branch(benchmark, n):
+    g = dense_small_girth_graph(n, seed=n)
+
+    def run():
+        return girth_undirected(
+            g, trials_per_k=10, rng=np.random.default_rng(n)
+        )
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["branch"] = result.extras["branch"]
+    assert result.value == girth_reference(g)
+
+
+@pytest.mark.parametrize("n", [15, 31, 63])
+def test_girth_directed(benchmark, n):
+    g = cycle_graph(n, directed=True)
+
+    def run():
+        return girth_directed(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["boolean_products"] = result.extras["boolean_products"]
+    assert result.value == n
+
+
+def test_girth_directed_random(benchmark):
+    g = gnp_random_graph(36, 0.12, seed=9, directed=True)
+
+    def run():
+        return girth_directed(g)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    assert result.value == girth_reference(g)

@@ -1,0 +1,73 @@
+"""E6 -- Table 1 "k-cycle detection": 2^{O(k)} n^rho log n via colour coding.
+
+A fixed small trial budget isolates the growth in n (the 2^{O(k)} constants
+are what they are -- the per-trial product counts are also recorded).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import planted_cycle_graph
+from repro.matmul.exponent import fit_exponent
+from repro.subgraphs import detect_k_cycle
+
+from .conftest import run_once
+
+SIZES = [16, 49, 100]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("k", [4, 5])
+def test_kcycle_detection(benchmark, n, k):
+    g = planted_cycle_graph(n, k, seed=n + k, extra_edge_prob=0.5)
+
+    def run():
+        return detect_k_cycle(g, k, trials=2, rng=np.random.default_rng(0))
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = result.rounds
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["trials_used"] = result.extras["trials_used"]
+
+
+def test_kcycle_growth_in_n(benchmark):
+    k = 4
+
+    def run():
+        return [
+            detect_k_cycle(
+                planted_cycle_graph(n, k, seed=n, extra_edge_prob=0.5),
+                k,
+                trials=1,
+                rng=np.random.default_rng(1),
+            ).rounds
+            for n in SIZES
+        ]
+
+    rounds = run_once(benchmark, run)
+    benchmark.extra_info["rounds"] = rounds
+    benchmark.extra_info["fitted_exponent"] = fit_exponent(SIZES, rounds)
+    # Sub-linear growth: the point of using the fast engine per product.
+    assert fit_exponent(SIZES, rounds) < 1.0
+
+
+def test_kcycle_growth_in_k(benchmark):
+    n = 49
+
+    def run():
+        return [
+            detect_k_cycle(
+                planted_cycle_graph(n, k, seed=k, extra_edge_prob=0.5),
+                k,
+                trials=1,
+                rng=np.random.default_rng(2),
+            ).rounds
+            for k in (3, 4, 5, 6)
+        ]
+
+    rounds = run_once(benchmark, run)
+    benchmark.extra_info["rounds_by_k"] = rounds
+    # The exponential-in-k blow-up (product count ~ 3^k) is visible.
+    assert rounds[-1] > rounds[0]

@@ -1,0 +1,101 @@
+"""E2 -- Table 1 "matrix multiplication (ring)": O(n^{1-2/sigma}) rounds.
+
+Sweeps perfect-square clique sizes with the deepest fitting Strassen power;
+measured rounds must equal the predictor.  Ablations: the Strassen recursion
+level at fixed n (the Lemma 10 communication/products trade-off) and the
+classical <d,d,d;d^3> algorithm run through the same engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra.bilinear import classical, strassen_power
+from repro.clique import CongestedClique
+from repro.matmul.bilinear_clique import bilinear_matmul, default_algorithm
+from repro.matmul.exponent import fit_exponent, predicted_bilinear_rounds
+
+from .conftest import run_once
+
+SIZES = [49, 100, 144, 196, 256]
+
+
+def _inputs(n: int):
+    rng = np.random.default_rng(n)
+    return (
+        rng.integers(-9, 10, (n, n), dtype=np.int64),
+        rng.integers(-9, 10, (n, n), dtype=np.int64),
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bilinear_rounds(benchmark, n):
+    s, t = _inputs(n)
+    algorithm = default_algorithm(n)
+
+    def run():
+        clique = CongestedClique(n)
+        bilinear_matmul(clique, s, t, algorithm)
+        return clique.rounds
+
+    rounds = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = rounds
+    benchmark.extra_info["algorithm"] = algorithm.name
+    benchmark.extra_info["d"] = algorithm.d
+    benchmark.extra_info["m"] = algorithm.m
+
+
+def test_bilinear_exponent(benchmark):
+    def run():
+        rounds = []
+        for n in SIZES:
+            s, t = _inputs(n)
+            clique = CongestedClique(n)
+            bilinear_matmul(clique, s, t, default_algorithm(n))
+            rounds.append(clique.rounds)
+        return fit_exponent(SIZES, rounds)
+
+    exponent = run_once(benchmark, run)
+    benchmark.extra_info["fitted_exponent"] = exponent
+    benchmark.extra_info["strassen_target"] = 1 - 2 / np.log2(7)
+    benchmark.extra_info["paper_target_le_gall"] = 0.15715
+    # Level quantisation makes small-n fits noisy; sanity-bound only.
+    assert exponent < 1.0
+
+
+@pytest.mark.parametrize("level", [0, 1, 2])
+def test_strassen_level_ablation(benchmark, level):
+    """DESIGN.md ablation 2: recursion depth at fixed n = 196."""
+    n = 196
+    s, t = _inputs(n)
+    algorithm = strassen_power(level)
+
+    def run():
+        clique = CongestedClique(n)
+        bilinear_matmul(clique, s, t, algorithm)
+        return clique.rounds
+
+    rounds = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = rounds
+    benchmark.extra_info["level"] = level
+    benchmark.extra_info["products"] = algorithm.m
+
+
+@pytest.mark.parametrize("d", [2, 4])
+def test_classical_algorithm_ablation(benchmark, d):
+    """The same engine with the school-book bilinear algorithm (sigma = 3)."""
+    n = 196
+    s, t = _inputs(n)
+    algorithm = classical(d)
+
+    def run():
+        clique = CongestedClique(n)
+        bilinear_matmul(clique, s, t, algorithm)
+        return clique.rounds
+
+    rounds = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = rounds
+    benchmark.extra_info["predicted"] = predicted_bilinear_rounds(
+        n, d=d, m=d**3
+    )

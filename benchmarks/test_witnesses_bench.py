@@ -1,0 +1,71 @@
+"""Witness-machinery benchmarks (§3.4, Lemma 21).
+
+Measures the polylog(n)-products overhead of witness extraction on top of a
+plain distance product, for both the distance and Boolean variants, and the
+end-to-end cost of witness-backed routing tables on the ring engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clique import CongestedClique
+from repro.constants import INF
+from repro.matmul.boolean_witnesses import find_boolean_witnesses
+from repro.matmul.distance import distance_product_ring
+from repro.matmul.witnesses import find_witnesses
+
+from .conftest import run_once
+
+
+def _instance(n: int, max_entry: int, seed: int):
+    rng = np.random.default_rng(seed)
+    s = rng.integers(0, max_entry + 1, (n, n), dtype=np.int64)
+    t = rng.integers(0, max_entry + 1, (n, n), dtype=np.int64)
+    s[rng.random((n, n)) < 0.2] = INF
+    t[rng.random((n, n)) < 0.2] = INF
+    return s, t
+
+
+@pytest.mark.parametrize("n", [16, 25])
+def test_distance_witness_overhead(benchmark, n):
+    s, t = _instance(n, 4, n)
+
+    def run():
+        plain = CongestedClique(n)
+        distance_product_ring(plain, s, t, 4)
+        full = CongestedClique(n)
+
+        def engine(a, b, phase):
+            return distance_product_ring(full, a, b, 4, phase=phase)
+
+        result = find_witnesses(full, s, t, engine, rng=np.random.default_rng(n))
+        return plain.rounds, full.rounds, result.products_used
+
+    plain_rounds, witness_rounds, products = run_once(benchmark, run)
+    benchmark.extra_info["plain_rounds"] = plain_rounds
+    benchmark.extra_info["witness_rounds"] = witness_rounds
+    benchmark.extra_info["products_used"] = products
+    # Lemma 21: a polylog(n) factor, not a polynomial one.
+    assert witness_rounds < plain_rounds * 20 * max(1, int(np.log2(n)) ** 2)
+
+
+@pytest.mark.parametrize("n", [16, 25])
+def test_boolean_witnesses(benchmark, n):
+    rng = np.random.default_rng(n)
+    s = (rng.random((n, n)) < 0.4).astype(np.int64)
+    t = (rng.random((n, n)) < 0.4).astype(np.int64)
+
+    def run():
+        clique = CongestedClique(n)
+        product, result = find_boolean_witnesses(
+            clique, s, t, rng=np.random.default_rng(n)
+        )
+        return clique.rounds, product, result
+
+    rounds, product, result = run_once(benchmark, run)
+    benchmark.extra_info["clique_rounds"] = rounds
+    benchmark.extra_info["products_used"] = result.products_used
+    assert np.array_equal(product, ((s @ t) > 0).astype(np.int64))
+    assert result.resolved.all()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Widest-path (bottleneck) routing on a capacitated network.
+
+The semiring extension demo: the same §2.1 engine that powers shortest
+paths runs over the (max, min) semiring and computes, for every node pair,
+the best achievable bottleneck bandwidth and a routing table that realises
+it -- the classic "maximum-bandwidth route" primitive of network planning.
+
+Run: ``python examples/bottleneck_routing.py [n]`` (default 27).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import apsp_bottleneck, apsp_exact
+from repro.constants import INF
+from repro.distances import bottleneck_reference, validate_bottleneck_routing
+from repro.graphs import random_weighted_graph
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 27
+    graph = random_weighted_graph(n, 0.2, max_weight=100, seed=11)
+    print(f"Capacitated network: {graph} (capacities 1..100)\n")
+
+    widest = apsp_bottleneck(graph, with_routing_tables=True)
+    assert np.array_equal(widest.value, bottleneck_reference(graph))
+    ok = validate_bottleneck_routing(
+        graph, widest.value, widest.extras["next_hop"]
+    )
+    print(f"bottleneck APSP (max-min semiring) : {widest.rounds:6d} rounds"
+          f"   [routing tables valid: {ok}]")
+
+    shortest = apsp_exact(graph, with_routing_tables=True)
+    print(f"shortest-path APSP (min-plus)      : {shortest.rounds:6d} rounds")
+
+    # Compare a widest route with a shortest route for one pair.
+    reach = widest.value > -INF
+    np.fill_diagonal(reach, False)
+    pairs = np.argwhere(reach)
+    if len(pairs):
+        u, v = map(int, pairs[len(pairs) // 2])
+        hop_w = widest.extras["next_hop"]
+        hop_s = shortest.extras["next_hop"]
+
+        def walk(hop, src, dst):
+            path = [src]
+            while path[-1] != dst and len(path) <= graph.n:
+                path.append(int(hop[path[-1], dst]))
+            return path
+
+        print(f"\npair ({u} -> {v}):")
+        print(f"  widest route   {walk(hop_w, u, v)}  "
+              f"(bandwidth {widest.value[u, v]})")
+        print(f"  shortest route {walk(hop_s, u, v)}  "
+              f"(distance  {shortest.value[u, v]})")
+        print("\nSame engine, different semiring -- Theorem 1 is generic.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Algebraic foundations: semirings, bilinear algorithms, polynomial rings.
+
+The paper's engine room.  §2.1 needs semirings with block products
+(:mod:`repro.algebra.semirings`); §2.2 needs explicit bilinear algorithms
+(:mod:`repro.algebra.bilinear`), instantiated with Strassen's ``<2,2,2;7>``
+and its Kronecker powers; Lemma 18 needs capped polynomial arithmetic
+(:mod:`repro.algebra.polynomial`).
+"""
+
+from repro.algebra.bilinear import (
+    STRASSEN,
+    BilinearAlgorithm,
+    classical,
+    largest_strassen_level,
+    strassen_power,
+    verify_bilinear,
+)
+from repro.algebra.semirings import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    MAX_MIN,
+    MIN_PLUS,
+    PLUS_TIMES,
+    Semiring,
+    reference_matmul,
+)
+from repro.algebra.strassen import strassen_multiply
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES",
+    "BOOLEAN",
+    "MIN_PLUS",
+    "MAX_MIN",
+    "ALL_SEMIRINGS",
+    "reference_matmul",
+    "BilinearAlgorithm",
+    "STRASSEN",
+    "classical",
+    "strassen_power",
+    "largest_strassen_level",
+    "verify_bilinear",
+    "strassen_multiply",
+]

@@ -1,0 +1,88 @@
+"""Capped-degree integer polynomial matrices for the Lemma 18 embedding.
+
+Lemma 18 embeds the distance product of matrices with entries in
+``{0, ..., M} + {inf}`` into a product over the polynomial ring ``Z[X]``:
+entry ``w`` becomes the monomial ``X^w`` (``inf`` becomes the zero
+polynomial), the matrices are multiplied over ``Z[X]``, and each distance is
+recovered as the degree of the lowest non-zero monomial of the corresponding
+product entry.  All polynomials involved have degree at most ``2 M``, so we
+represent a polynomial matrix as an ``(r, c, D)`` coefficient tensor with
+``D = 2 M + 1`` and no truncation is ever needed.
+
+Coefficients count the number of inner indices attaining each sum, so they
+are bounded by ``n`` and never cancel -- which is exactly why the recovery in
+Lemma 18 is sound even when the product is computed by a ring algorithm such
+as Strassen (which does subtract intermediate values but produces the exact
+product).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import INF
+
+
+def encode_minplus(matrix: np.ndarray, max_entry: int, degree: int) -> np.ndarray:
+    """Encode a distance matrix as a polynomial coefficient tensor.
+
+    Entry ``w <= max_entry`` becomes ``X^w``; entries ``> max_entry``
+    (including the ``INF`` sentinel) become the zero polynomial.  The trailing
+    axis has size ``degree`` (callers pass ``2 * max_entry + 1`` so products
+    fit exactly).
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    if degree < max_entry + 1:
+        raise ValueError(f"degree {degree} cannot hold entries up to {max_entry}")
+    out = np.zeros(matrix.shape + (degree,), dtype=np.int64)
+    finite = (matrix >= 0) & (matrix <= max_entry)
+    rows, cols = np.nonzero(finite)
+    out[rows, cols, matrix[rows, cols]] = 1
+    return out
+
+
+def poly_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Product of polynomial matrices: matrix product with convolution entries.
+
+    ``a`` is ``(r, k, Da)`` and ``b`` is ``(k, c, Db)``; the result is
+    ``(r, c, Da + Db - 1)``.  Implemented as one integer matrix product per
+    output degree, which keeps everything inside NumPy.
+    """
+    da = a.shape[2]
+    db = b.shape[2]
+    out = np.zeros((a.shape[0], b.shape[1], da + db - 1), dtype=np.int64)
+    for i in range(da):
+        ai = a[:, :, i]
+        if not ai.any():
+            continue
+        for j in range(db):
+            bj = b[:, :, j]
+            if not bj.any():
+                continue
+            out[:, :, i + j] += ai @ bj
+    return out
+
+
+def decode_minplus(poly: np.ndarray) -> np.ndarray:
+    """Recover distances: the lowest degree with a non-zero coefficient.
+
+    Entries whose polynomial is identically zero decode to
+    :data:`~repro.constants.INF`.
+    """
+    nonzero = poly != 0
+    has_any = nonzero.any(axis=2)
+    first = np.argmax(nonzero, axis=2)
+    return np.where(has_any, first, INF).astype(np.int64)
+
+
+def poly_entry_degree(poly: np.ndarray) -> int:
+    """The trailing-axis length of a polynomial tensor (its capped degree)."""
+    return int(poly.shape[2])
+
+
+__all__ = [
+    "encode_minplus",
+    "poly_matmul",
+    "decode_minplus",
+    "poly_entry_degree",
+]

@@ -1,0 +1,215 @@
+"""Semirings for congested-clique matrix multiplication.
+
+The paper's Theorem 1 distinguishes two regimes:
+
+* **semirings** (no subtraction) -- handled by the 3D algorithm of §2.1; the
+  relevant instances are the min-plus (tropical) semiring for shortest paths
+  and the Boolean semiring for reachability/detection;
+* **rings** (subtraction available) -- handled by the bilinear algorithm of
+  §2.2 over the integers (and the capped polynomial ring of Lemma 18).
+
+A :class:`Semiring` bundles the block-level operations the 3D algorithm
+needs: a block matrix product (optionally with *witnesses*, i.e. the index
+attaining each min), and the elementwise addition used to combine partial
+products.  All operations are NumPy-vectorised over ``int64`` arrays; the
+min-plus instance saturates at :data:`repro.constants.INF`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import INF
+
+
+class Semiring:
+    """Base class: a semiring with NumPy block operations.
+
+    Subclasses implement :meth:`matmul` and :meth:`add`; semirings whose
+    addition is a selection (min/max) also implement the ``*_with_witness``
+    variants used to extract routing tables (§3.3).
+    """
+
+    name: str = "abstract"
+    #: additive identity value, stored in int64 matrices
+    zero_value: int = 0
+    #: multiplicative identity value (the diagonal of the identity matrix)
+    one_value: int = 1
+    #: whether this semiring is actually a ring (supports subtraction), in
+    #: which case the fast bilinear algorithm of §2.2 also applies.
+    is_ring: bool = False
+    #: whether witnesses (argmin/argmax indices) are meaningful
+    has_witnesses: bool = False
+
+    def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Block product ``x . y`` in the semiring."""
+        raise NotImplementedError
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise semiring addition."""
+        raise NotImplementedError
+
+    def zeros(self, shape: tuple[int, ...]) -> np.ndarray:
+        """All-``zero_value`` matrix of the given shape."""
+        return np.full(shape, self.zero_value, dtype=np.int64)
+
+    def matmul_with_witness(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Block product plus, per output entry, the inner index attaining it.
+
+        Only meaningful for selection semirings; the default raises.
+        """
+        raise NotImplementedError(f"{self.name} has no witnesses")
+
+    def add_with_witness(
+        self,
+        a: np.ndarray,
+        wa: np.ndarray,
+        b: np.ndarray,
+        wb: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Elementwise addition carrying witnesses along with the selection."""
+        raise NotImplementedError(f"{self.name} has no witnesses")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+class PlusTimesRing(Semiring):
+    """The ordinary integer ring ``(Z, +, *)`` -- a ring, so §2.2 applies."""
+
+    name = "plus-times"
+    zero_value = 0
+    is_ring = True
+
+    def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return x @ y
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a + b
+
+
+class BooleanSemiring(Semiring):
+    """The Boolean semiring ``({0,1}, or, and)``.
+
+    Matrices are 0/1 ``int64``; products threshold an integer product, which
+    is exact because path counts are non-negative.
+    """
+
+    name = "boolean"
+    zero_value = 0
+
+    def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return ((x.astype(np.int64) @ y.astype(np.int64)) > 0).astype(np.int64)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ((a + b) > 0).astype(np.int64)
+
+
+class MinPlusSemiring(Semiring):
+    """The tropical (min-plus) semiring used for distance products (§3.3).
+
+    ``(S * T)[u, v] = min_w S[u, w] + T[w, v]``; the additive identity is
+    :data:`~repro.constants.INF` and sums saturate there so that unreachable
+    entries stay unreachable.  Witnesses record the minimising inner index,
+    which §3.3 turns into routing tables.
+    """
+
+    name = "min-plus"
+    zero_value = INF
+    one_value = 0
+    has_witnesses = True
+
+    def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.matmul_with_witness(x, y)[0]
+
+    def matmul_with_witness(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        sums = x[:, :, None] + y[None, :, :]
+        infinite = (x[:, :, None] >= INF) | (y[None, :, :] >= INF)
+        np.copyto(sums, INF, where=infinite)
+        witness = np.argmin(sums, axis=1)
+        product = np.take_along_axis(sums, witness[:, None, :], axis=1)[:, 0, :]
+        return product, witness
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.minimum(a, b)
+
+    def add_with_witness(
+        self,
+        a: np.ndarray,
+        wa: np.ndarray,
+        b: np.ndarray,
+        wb: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        take_b = b < a
+        return np.where(take_b, b, a), np.where(take_b, wb, wa)
+
+
+class MaxMinSemiring(Semiring):
+    """The bottleneck (max-min) semiring -- a natural extension target.
+
+    ``(S * T)[u, v] = max_w min(S[u, w], T[w, v])`` computes widest
+    bottleneck paths; included to demonstrate that the §2.1 engine is generic
+    over semirings (the paper states Theorem 1 "over semirings").
+    """
+
+    name = "max-min"
+    zero_value = -INF
+    one_value = INF
+    has_witnesses = True
+
+    def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.matmul_with_witness(x, y)[0]
+
+    def matmul_with_witness(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        mins = np.minimum(x[:, :, None], y[None, :, :])
+        witness = np.argmax(mins, axis=1)
+        product = np.take_along_axis(mins, witness[:, None, :], axis=1)[:, 0, :]
+        return product, witness
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.maximum(a, b)
+
+    def add_with_witness(
+        self,
+        a: np.ndarray,
+        wa: np.ndarray,
+        b: np.ndarray,
+        wb: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        take_b = b > a
+        return np.where(take_b, b, a), np.where(take_b, wb, wa)
+
+
+#: Singleton instances -- semirings are stateless, so share them.
+PLUS_TIMES = PlusTimesRing()
+BOOLEAN = BooleanSemiring()
+MIN_PLUS = MinPlusSemiring()
+MAX_MIN = MaxMinSemiring()
+
+ALL_SEMIRINGS: tuple[Semiring, ...] = (PLUS_TIMES, BOOLEAN, MIN_PLUS, MAX_MIN)
+
+
+def reference_matmul(semiring: Semiring, s: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Centralised single-shot semiring product, used as a test oracle."""
+    return semiring.matmul(np.asarray(s, dtype=np.int64), np.asarray(t, dtype=np.int64))
+
+
+__all__ = [
+    "Semiring",
+    "PlusTimesRing",
+    "BooleanSemiring",
+    "MinPlusSemiring",
+    "MaxMinSemiring",
+    "PLUS_TIMES",
+    "BOOLEAN",
+    "MIN_PLUS",
+    "MAX_MIN",
+    "ALL_SEMIRINGS",
+    "reference_matmul",
+]

@@ -1,0 +1,59 @@
+"""Local recursive Strassen multiplication (reference implementation).
+
+The distributed algorithm of §2.2 consumes Strassen in *bilinear form*
+(:func:`repro.algebra.bilinear.strassen_power`); this module provides the
+textbook recursive executor, used (a) as an independent oracle for the
+bilinear tensors in the test suite and (b) by nodes that prefer a fast local
+multiply in the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def strassen_multiply(
+    s: np.ndarray, t: np.ndarray, cutoff: int = 32
+) -> np.ndarray:
+    """Multiply two square integer matrices with recursive Strassen.
+
+    Below ``cutoff`` the recursion falls back to NumPy's product.  Inputs of
+    odd size are padded with zeros for the recursive step.
+    """
+    s = np.asarray(s, dtype=np.int64)
+    t = np.asarray(t, dtype=np.int64)
+    if s.shape != t.shape or s.shape[0] != s.shape[1]:
+        raise ValueError("strassen_multiply expects equal square matrices")
+    n = s.shape[0]
+    if n <= cutoff:
+        return s @ t
+    half = (n + 1) // 2
+    size = 2 * half
+
+    sp = np.zeros((size, size), dtype=np.int64)
+    tp = np.zeros((size, size), dtype=np.int64)
+    sp[:n, :n] = s
+    tp[:n, :n] = t
+
+    a11, a12 = sp[:half, :half], sp[:half, half:]
+    a21, a22 = sp[half:, :half], sp[half:, half:]
+    b11, b12 = tp[:half, :half], tp[:half, half:]
+    b21, b22 = tp[half:, :half], tp[half:, half:]
+
+    m1 = strassen_multiply(a11 + a22, b11 + b22, cutoff)
+    m2 = strassen_multiply(a21 + a22, b11, cutoff)
+    m3 = strassen_multiply(a11, b12 - b22, cutoff)
+    m4 = strassen_multiply(a22, b21 - b11, cutoff)
+    m5 = strassen_multiply(a11 + a12, b22, cutoff)
+    m6 = strassen_multiply(a21 - a11, b11 + b12, cutoff)
+    m7 = strassen_multiply(a12 - a22, b21 + b22, cutoff)
+
+    p = np.zeros((size, size), dtype=np.int64)
+    p[:half, :half] = m1 + m4 - m5 + m7
+    p[:half, half:] = m3 + m5
+    p[half:, :half] = m2 + m4
+    p[half:, half:] = m1 - m2 + m3 + m6
+    return p[:n, :n]
+
+
+__all__ = ["strassen_multiply"]

@@ -1,0 +1,83 @@
+"""Crossover estimation between round-complexity curves.
+
+The Table 1 comparisons are exponent statements; at finite sizes the
+constants decide who actually wins.  Given measured anchors
+``(n0, rounds0)`` for two algorithms and their growth exponents, the
+power-law extrapolation
+
+    ``rounds_i(n) = rounds_i(n0) * (n / n0)^{e_i}``
+
+crosses at ``n* = n0 * (r_slow/r_fast)^{1/(e_slow - e_fast)}`` (when the
+asymptotically faster algorithm is behind at the anchor).  This module
+makes the EXPERIMENTS.md crossover claims (e.g. matmul-based triangle
+counting vs Dolev et al.) reproducible numbers rather than prose.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CrossoverEstimate:
+    """Extrapolated break-even size between two power-law round curves."""
+
+    anchor_n: int
+    fast_rounds_at_anchor: float
+    slow_rounds_at_anchor: float
+    fast_exponent: float
+    slow_exponent: float
+
+    @property
+    def crossover_n(self) -> float:
+        """The size where the asymptotically faster curve takes the lead.
+
+        ``<= anchor_n`` when it already leads at the anchor; ``inf`` when
+        the exponents do not order (no crossover).
+        """
+        gap = self.slow_exponent - self.fast_exponent
+        if gap <= 0:
+            return math.inf
+        if self.fast_rounds_at_anchor <= self.slow_rounds_at_anchor:
+            return float(self.anchor_n)
+        ratio = self.fast_rounds_at_anchor / self.slow_rounds_at_anchor
+        return self.anchor_n * ratio ** (1.0 / gap)
+
+
+def crossover(
+    anchor_n: int,
+    fast_rounds: float,
+    slow_rounds: float,
+    fast_exponent: float,
+    slow_exponent: float,
+) -> CrossoverEstimate:
+    """Build a :class:`CrossoverEstimate`; see the module docstring."""
+    if anchor_n < 1 or fast_rounds <= 0 or slow_rounds <= 0:
+        raise ValueError("anchor size and round counts must be positive")
+    return CrossoverEstimate(
+        anchor_n=anchor_n,
+        fast_rounds_at_anchor=float(fast_rounds),
+        slow_rounds_at_anchor=float(slow_rounds),
+        fast_exponent=fast_exponent,
+        slow_exponent=slow_exponent,
+    )
+
+
+def triangle_crossover_vs_dolev(
+    anchor_n: int,
+    our_rounds: float,
+    dolev_rounds: float,
+    *,
+    rho: float,
+) -> CrossoverEstimate:
+    """The Table 1 triangle-counting break-even under a given exponent.
+
+    Pass ``rho = RHO_IMPLEMENTED`` for the Strassen engine actually running
+    in this repository, or ``rho = RHO_PAPER`` to see where the paper's
+    Le Gall-based bound would overtake the same measured constants.
+    """
+    return crossover(anchor_n, our_rounds, dolev_rounds, rho, 1.0 / 3.0)
+
+
+__all__ = ["CrossoverEstimate", "crossover", "triangle_crossover_vs_dolev"]

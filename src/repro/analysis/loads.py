@@ -1,0 +1,69 @@
+"""Per-phase load-balance reports (the Figures 1-2 claims, as an API).
+
+The partition figures in the paper assert that every node carries an equal
+share of each communication step.  :func:`load_report` turns a run's cost
+meter into the corresponding quantitative statement: per phase, the maximum
+per-node traffic vs the mean, and the balance ratio (1.0 = perfectly flat).
+Used by the figure benchmarks and handy for diagnosing any new algorithm
+written against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clique.accounting import CostMeter
+
+
+@dataclass(frozen=True)
+class PhaseLoad:
+    """Load-balance summary of one communication phase."""
+
+    phase: str
+    rounds: int
+    total_words: int
+    max_send: int
+    max_recv: int
+    mean_words: float
+
+    @property
+    def balance(self) -> float:
+        """max traffic / mean traffic; 1.0 means perfectly balanced."""
+        if self.mean_words == 0:
+            return 1.0
+        return max(self.max_send, self.max_recv) / self.mean_words
+
+
+def load_report(meter: CostMeter, n: int) -> list[PhaseLoad]:
+    """Summarise every phase of a run on an ``n``-node clique."""
+    out = []
+    for p in meter.phases:
+        out.append(
+            PhaseLoad(
+                phase=p.phase,
+                rounds=p.rounds,
+                total_words=p.words,
+                max_send=p.max_send_words,
+                max_recv=p.max_recv_words,
+                mean_words=p.words / n if n else 0.0,
+            )
+        )
+    return out
+
+
+def format_load_report(loads: list[PhaseLoad]) -> str:
+    """Human-readable balance table."""
+    lines = [
+        f"{'phase':40s} {'rounds':>7s} {'words':>10s} {'max':>8s} "
+        f"{'mean':>10s} {'balance':>8s}"
+    ]
+    for load in loads:
+        lines.append(
+            f"{load.phase:40s} {load.rounds:7d} {load.total_words:10d} "
+            f"{max(load.max_send, load.max_recv):8d} {load.mean_words:10.1f} "
+            f"{load.balance:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["PhaseLoad", "load_report", "format_load_report"]

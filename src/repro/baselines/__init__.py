@@ -1,0 +1,12 @@
+"""Prior-work baselines from Table 1 that are implementable as systems.
+
+Dolev-Lenzen-Peled triangle counting and 4-node subgraph detection are
+implemented in full (:mod:`repro.baselines.dolev`).  The remaining prior
+rows (Drucker-Kuhn-Oshman ring matmul, Nanongkai's ``(2+o(1))``-APSP) are
+entire papers in their own right and are represented analytically in the
+Table 1 report, exactly as the paper's comparison column does.
+"""
+
+from repro.baselines.dolev import dolev_four_cycle_detect, dolev_triangle_count
+
+__all__ = ["dolev_triangle_count", "dolev_four_cycle_detect"]

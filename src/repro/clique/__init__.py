@@ -1,0 +1,28 @@
+"""Congested-clique simulation substrate.
+
+The paper's model: ``n`` nodes, a complete communication graph, synchronous
+rounds, one ``O(log n)``-bit message per ordered node pair per round.  This
+subpackage provides the metered simulator (:class:`CongestedClique`), the
+cost accounting, and the routing/scheduling machinery (Lenzen routing via
+Koenig edge colouring) that every algorithm in the reproduction runs on.
+"""
+
+from repro.clique.accounting import CostMeter, PhaseCost
+from repro.clique.messages import (
+    default_word_bits,
+    int_bits,
+    words_for_array,
+    words_for_value,
+)
+from repro.clique.model import CongestedClique, ScheduleMode
+
+__all__ = [
+    "CongestedClique",
+    "ScheduleMode",
+    "CostMeter",
+    "PhaseCost",
+    "default_word_bits",
+    "int_bits",
+    "words_for_array",
+    "words_for_value",
+]

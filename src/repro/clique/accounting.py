@@ -1,0 +1,131 @@
+"""Round/message/word accounting for the congested-clique simulator.
+
+The congested clique charges one synchronous *round* for every node sending
+one ``O(log n)``-bit message to every other node.  The unit of accounting is
+the *word*: a payload of ``w`` words from ``u`` to ``v`` occupies the directed
+link ``(u, v)`` for ``w`` rounds if sent directly, and contributes ``w`` to
+``u``'s send load and ``v``'s receive load if relayed.
+
+Every communication primitive charges exactly one :class:`PhaseCost` to the
+meter, so an algorithm's total round count decomposes into a per-phase
+breakdown that mirrors the step structure of the paper's algorithm
+descriptions (e.g. "Step 1: Distributing the entries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Cost of one communication phase (one primitive invocation).
+
+    Attributes:
+        phase: human-readable phase label, e.g. ``"semiring3d/step1"``.
+        primitive: which primitive charged this cost (``broadcast``, ``send``,
+            ``route``, ...).
+        rounds: synchronous rounds consumed by the phase.
+        words: total words shipped across all links during the phase.
+        payloads: number of logical payload messages (one payload may span
+            many words).
+        max_send_words: maximum, over nodes, of words sent by that node.
+        max_recv_words: maximum, over nodes, of words received by that node.
+    """
+
+    phase: str
+    primitive: str
+    rounds: int
+    words: int
+    payloads: int
+    max_send_words: int
+    max_recv_words: int
+
+
+@dataclass
+class CostMeter:
+    """Accumulates :class:`PhaseCost` records for one simulation run."""
+
+    phases: list[PhaseCost] = field(default_factory=list)
+
+    def charge(self, cost: PhaseCost) -> None:
+        """Record the cost of one completed phase."""
+        if cost.rounds < 0:
+            raise ValueError(f"negative round charge: {cost!r}")
+        self.phases.append(cost)
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds across all phases charged so far."""
+        return sum(p.rounds for p in self.phases)
+
+    @property
+    def words(self) -> int:
+        """Total words shipped across all phases charged so far."""
+        return sum(p.words for p in self.phases)
+
+    @property
+    def payloads(self) -> int:
+        """Total logical payload messages across all phases."""
+        return sum(p.payloads for p in self.phases)
+
+    @property
+    def max_node_load(self) -> int:
+        """Largest per-node send or receive load seen in any single phase."""
+        if not self.phases:
+            return 0
+        return max(max(p.max_send_words, p.max_recv_words) for p in self.phases)
+
+    def reset(self) -> None:
+        """Discard all recorded phases."""
+        self.phases.clear()
+
+    def snapshot(self) -> int:
+        """Return the current number of recorded phases.
+
+        Use together with :meth:`rounds_since` to measure a sub-computation:
+
+        >>> meter = CostMeter()
+        >>> mark = meter.snapshot()
+        >>> # ... run something that charges the meter ...
+        >>> meter.rounds_since(mark)
+        0
+        """
+        return len(self.phases)
+
+    def rounds_since(self, mark: int) -> int:
+        """Rounds charged since a :meth:`snapshot` mark."""
+        return sum(p.rounds for p in self.phases[mark:])
+
+    def words_since(self, mark: int) -> int:
+        """Words charged since a :meth:`snapshot` mark."""
+        return sum(p.words for p in self.phases[mark:])
+
+    def by_phase_prefix(self) -> dict[str, int]:
+        """Aggregate rounds by the phase-label prefix before the first ``/``.
+
+        The matmul algorithms label their phases ``"<algo>/<step>"``; this
+        groups the step costs back into per-algorithm totals.
+        """
+        out: dict[str, int] = {}
+        for p in self.phases:
+            key = p.phase.split("/", 1)[0]
+            out[key] = out.get(key, 0) + p.rounds
+        return out
+
+    def report(self) -> str:
+        """Human-readable per-phase cost table."""
+        lines = [
+            f"{'phase':40s} {'prim':10s} {'rounds':>8s} {'words':>12s} "
+            f"{'maxsend':>9s} {'maxrecv':>9s}"
+        ]
+        for p in self.phases:
+            lines.append(
+                f"{p.phase:40s} {p.primitive:10s} {p.rounds:8d} {p.words:12d} "
+                f"{p.max_send_words:9d} {p.max_recv_words:9d}"
+            )
+        lines.append(f"{'TOTAL':40s} {'':10s} {self.rounds:8d} {self.words:12d}")
+        return "\n".join(lines)
+
+
+__all__ = ["PhaseCost", "CostMeter"]

@@ -1,0 +1,121 @@
+"""The broadcast congested clique (paper §4, Corollary 24).
+
+A restricted variant of the model: in every round each node must send the
+**same** ``O(log n)``-bit word to all other nodes.  Holzer-Pinsker [38] (as
+cited by the paper) imply that matrix multiplication and APSP need
+``Omega~(n)`` rounds here -- which is why the paper's sub-polynomial
+algorithms fundamentally need unicast.
+
+We implement the model so the separation is *demonstrable*: the only
+generic way to multiply matrices is to replicate them via broadcast
+(``Theta(n)`` rounds), and the benchmark/test suite contrasts that with the
+unicast engines' ``O(n^{1/3})`` / ``O(n^{1-2/sigma})`` on identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.algebra.semirings import PLUS_TIMES, Semiring
+from repro.clique.accounting import CostMeter, PhaseCost
+from repro.clique.messages import default_word_bits, words_for_array
+from repro.errors import CliqueModelError
+
+
+class BroadcastCongestedClique:
+    """An ``n``-node clique whose only primitive is one-word-to-all.
+
+    The deliberate absence of ``send``/``route`` *is* the model: per round,
+    a node contributes one word of globally visible state.
+    """
+
+    def __init__(self, n: int, *, word_bits: int | None = None) -> None:
+        if n < 2:
+            raise CliqueModelError(f"a clique needs >= 2 nodes, got {n}")
+        self.n = n
+        self.word_bits = word_bits if word_bits is not None else default_word_bits(n)
+        self.meter = CostMeter()
+
+    @property
+    def rounds(self) -> int:
+        return self.meter.rounds
+
+    def broadcast(
+        self,
+        payloads: Sequence[Any],
+        *,
+        words: int | Sequence[int] = 1,
+        phase: str = "broadcast",
+    ) -> list[list[Any]]:
+        """Every node announces its payload; rounds = max payload width."""
+        n = self.n
+        if len(payloads) != n:
+            raise CliqueModelError(f"expected {n} payloads, got {len(payloads)}")
+        widths = [words] * n if isinstance(words, int) else list(words)
+        if len(widths) != n or any(w < 0 for w in widths):
+            raise CliqueModelError("invalid broadcast widths")
+        rounds = max(widths, default=0)
+        self.meter.charge(
+            PhaseCost(
+                phase=phase,
+                primitive="broadcast",
+                rounds=rounds,
+                words=sum(w * (n - 1) for w in widths),
+                payloads=n,
+                max_send_words=max((w * (n - 1) for w in widths), default=0),
+                max_recv_words=sum(widths) - min(widths, default=0),
+            )
+        )
+        shared = list(payloads)
+        return [shared[:] for _ in range(n)]
+
+
+def broadcast_clique_matmul(
+    clique: BroadcastCongestedClique,
+    s: np.ndarray,
+    t: np.ndarray,
+    semiring: Semiring = PLUS_TIMES,
+    *,
+    phase: str = "bc-matmul",
+) -> np.ndarray:
+    """Matrix multiplication in the broadcast model: ``Theta(n)`` rounds.
+
+    Each node broadcasts its row of both operands (any algorithm must make
+    the inputs' information globally available through the single shared
+    word per node per round, which is why ``Omega~(n)`` is forced --
+    Corollary 24); the product is then local.
+    """
+    n = clique.n
+    s = np.asarray(s, dtype=np.int64)
+    t = np.asarray(t, dtype=np.int64)
+    if s.shape != (n, n) or t.shape != (n, n):
+        raise ValueError(f"operands must be {n} x {n}")
+    widths = [
+        words_for_array(s[v], clique.word_bits)
+        + words_for_array(t[v], clique.word_bits)
+        for v in range(n)
+    ]
+    received = clique.broadcast(
+        [(s[v], t[v]) for v in range(n)], words=widths, phase=f"{phase}/replicate"
+    )
+    product = semiring.zeros((n, n))
+    for v in range(n):
+        t_full = np.vstack([row_t for (_row_s, row_t) in received[v]])
+        product[v] = semiring.matmul(s[v : v + 1, :], t_full)[0]
+    return product
+
+
+def broadcast_matmul_round_floor(n: int) -> int:
+    """Corollary 24's floor, concretely: ``n`` words of private input per
+    node must cross a 1-word-per-round shared channel, so ``Omega(n)``
+    rounds (up to the word/entry-width ratio)."""
+    return n
+
+
+__all__ = [
+    "BroadcastCongestedClique",
+    "broadcast_clique_matmul",
+    "broadcast_matmul_round_floor",
+]

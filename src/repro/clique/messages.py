@@ -1,0 +1,89 @@
+"""Word-size arithmetic for congested-clique messages.
+
+The model allows ``O(log n)`` bits per message; following Section 1.1 of the
+paper, a matrix entry that needs ``b`` bits costs ``ceil(b / word_bits)``
+words.  These helpers centralise that arithmetic so every algorithm charges
+consistent (and honest) widths for the arrays it ships.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+
+def default_word_bits(n: int) -> int:
+    """Word size, in bits, for a clique of ``n`` nodes.
+
+    The model's word is ``Theta(log n)`` bits.  We use ``2 * ceil(log2 n)``
+    (minimum 16) so that a constant number of node identifiers -- e.g. the
+    ``(x, y, z)`` triple of a 2-walk record in the 4-cycle algorithm, or a
+    relay header -- fits in one word, which is the standard convention.
+    """
+    if n < 1:
+        raise ValueError(f"clique size must be positive, got {n}")
+    return max(16, 2 * max(1, math.ceil(math.log2(max(2, n)))))
+
+
+def int_bits(max_abs: int) -> int:
+    """Bits needed for a sign-magnitude integer with ``|x| <= max_abs``."""
+    if max_abs < 0:
+        raise ValueError(f"max_abs must be non-negative, got {max_abs}")
+    return 1 + max(1, int(max_abs).bit_length())
+
+
+def words_for_value(max_abs: int, word_bits: int) -> int:
+    """Words needed per integer entry with ``|x| <= max_abs``."""
+    return max(1, math.ceil(int_bits(max_abs) / word_bits))
+
+
+def words_for_array(arr: np.ndarray, word_bits: int) -> int:
+    """Total words needed to ship ``arr``, charging its true entry width.
+
+    The width is uniform across the array (all entries charged at the width
+    of the widest), which matches how the paper's algorithms transmit fixed-
+    format submatrices.
+    """
+    arr = np.asarray(arr)
+    if arr.size == 0:
+        return 0
+    if arr.dtype == np.bool_:
+        max_abs = 1
+    else:
+        max_abs = int(np.max(np.abs(arr)))
+    return int(arr.size) * words_for_value(max_abs, word_bits)
+
+
+def validate_outboxes(
+    outboxes: list[list[tuple[int, Any, int]]], n: int, allow_self: bool = False
+) -> None:
+    """Check the structural validity of a per-node outbox list.
+
+    Each ``outboxes[v]`` is a list of ``(dst, payload, words)`` triples: the
+    messages node ``v`` wants delivered.  Raises ``ValueError`` on malformed
+    input (the caller wraps into :class:`~repro.errors.CliqueModelError`).
+    """
+    if len(outboxes) != n:
+        raise ValueError(f"expected {n} outboxes, got {len(outboxes)}")
+    for v, box in enumerate(outboxes):
+        for item in box:
+            if len(item) != 3:
+                raise ValueError(f"node {v}: outbox item must be (dst, payload, words)")
+            dst, _payload, words = item
+            if not (0 <= dst < n):
+                raise ValueError(f"node {v}: destination {dst} out of range")
+            if dst == v and not allow_self:
+                raise ValueError(f"node {v}: self-addressed message")
+            if words <= 0:
+                raise ValueError(f"node {v}: non-positive word count {words}")
+
+
+__all__ = [
+    "default_word_bits",
+    "int_bits",
+    "words_for_value",
+    "words_for_array",
+    "validate_outboxes",
+]

@@ -1,0 +1,322 @@
+"""The congested clique simulator.
+
+``CongestedClique`` provides the communication primitives the paper's
+algorithms are written against, with every primitive metering its cost in
+synchronous rounds under the model's bandwidth constraint (one ``O(log n)``
+bit word per ordered node pair per round):
+
+* :meth:`CongestedClique.broadcast` -- every node sends the same words to all
+  others; ``w`` words cost ``max(w)`` rounds.
+* :meth:`CongestedClique.send` -- direct point-to-point exchange; costs the
+  maximum per-pair word count.
+* :meth:`CongestedClique.route` -- Lenzen-routed exchange [46]; costs
+  ``2 * ceil(L / n)`` rounds for maximum per-node load ``L``.  In
+  ``ScheduleMode.EXACT`` the full relay schedule is materialised and
+  validated; in ``ScheduleMode.FAST`` the closed form is charged.
+* :meth:`CongestedClique.transpose` -- the classic one-round transpose: node
+  ``v`` sends entry ``u`` of its row to node ``u``.
+* :meth:`CongestedClique.allgather_records` -- the "learn everything"
+  primitive of Dolev et al. [24]: replicate ``R`` fixed-width records to all
+  nodes in ``O(R / n)`` rounds.
+
+Algorithms written on top keep **node-local state in per-node containers**
+(lists indexed by node id) and only exchange data through these primitives;
+that discipline is what makes the simulated round counts meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Any, Sequence
+
+from repro.clique.accounting import CostMeter, PhaseCost
+from repro.clique.messages import default_word_bits, validate_outboxes
+from repro.clique.routing import Outboxes, analyze, deliver, enforce_load_bound
+from repro.clique.scheduling import (
+    broadcast_rounds,
+    direct_rounds,
+    relay_rounds_fast,
+    relay_schedule,
+)
+from repro.errors import CliqueModelError, LoadBoundExceededError
+
+
+class ScheduleMode(Enum):
+    """How routed exchanges are scheduled.
+
+    FAST charges the analytic ``2 * ceil(L / n)`` rounds; EXACT materialises
+    the Koenig-coloured relay schedule, validates it against the model, and
+    charges its emergent length.  EXACT exists to certify FAST (see the
+    scheduling tests); it is slower and meant for small instances.
+    """
+
+    FAST = "fast"
+    EXACT = "exact"
+
+
+class CongestedClique:
+    """A metered simulation of an ``n``-node congested clique.
+
+    Args:
+        n: number of nodes (node ids are ``0 .. n-1``).
+        word_bits: message word size in bits; defaults to
+            ``max(16, 2 ceil(log2 n))`` -- the model's ``Theta(log n)``.
+        mode: schedule mode for :meth:`route` (FAST or EXACT).
+
+    Attributes:
+        meter: the :class:`~repro.clique.accounting.CostMeter` accumulating
+            this clique's communication costs.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        word_bits: int | None = None,
+        mode: ScheduleMode = ScheduleMode.FAST,
+    ) -> None:
+        if n < 2:
+            raise CliqueModelError(f"a congested clique needs >= 2 nodes, got {n}")
+        self.n = n
+        self.word_bits = word_bits if word_bits is not None else default_word_bits(n)
+        if self.word_bits < 1:
+            raise CliqueModelError(f"word size must be positive, got {self.word_bits}")
+        self.mode = mode
+        self.meter = CostMeter()
+
+    # ------------------------------------------------------------------ #
+    # Primitives
+    # ------------------------------------------------------------------ #
+
+    def broadcast(
+        self,
+        payloads: Sequence[Any],
+        *,
+        words: int | Sequence[int] = 1,
+        phase: str = "broadcast",
+    ) -> list[list[Any]]:
+        """Every node sends its payload to all other nodes.
+
+        Args:
+            payloads: ``payloads[v]`` is the object node ``v`` broadcasts.
+            words: width of each node's payload in words (scalar or per-node).
+            phase: label for the cost meter.
+
+        Returns:
+            ``received`` with ``received[u][v] = payloads[v]`` for every pair.
+            Payload objects are shared, not copied; receivers must not mutate
+            them (standard simulator discipline).
+        """
+        n = self.n
+        if len(payloads) != n:
+            raise CliqueModelError(f"expected {n} payloads, got {len(payloads)}")
+        if isinstance(words, int):
+            widths = [words] * n
+        else:
+            widths = list(words)
+            if len(widths) != n:
+                raise CliqueModelError("per-node word widths must have length n")
+        if any(w < 0 for w in widths):
+            raise CliqueModelError("negative broadcast width")
+        rounds = broadcast_rounds(widths)
+        total = sum(w * (n - 1) for w in widths)
+        all_widths = sum(widths)
+        self.meter.charge(
+            PhaseCost(
+                phase=phase,
+                primitive="broadcast",
+                rounds=rounds,
+                words=total,
+                payloads=n,
+                max_send_words=max(w * (n - 1) for w in widths),
+                max_recv_words=all_widths - min(widths),
+            )
+        )
+        shared = list(payloads)
+        return [shared[:] for _ in range(n)]
+
+    def send(
+        self,
+        outboxes: Outboxes,
+        *,
+        phase: str = "send",
+        expect_max_pair: int | None = None,
+    ) -> list[list[tuple[int, Any]]]:
+        """Direct exchange: every message travels on its own link.
+
+        Rounds charged: the maximum, over ordered pairs, of the words that
+        pair must carry.  Use when per-pair traffic is small (e.g. the
+        transpose, or the O(1)-round steps of the 4-cycle algorithm); use
+        :meth:`route` when traffic is concentrated and relaying pays off.
+
+        Args:
+            outboxes: ``outboxes[v]`` lists ``(dst, payload, words)`` triples.
+            expect_max_pair: optional asserted bound on per-pair words; a
+                violation raises
+                :class:`~repro.errors.LoadBoundExceededError`.
+        """
+        self._validate(outboxes)
+        profile = analyze(outboxes, self.n)
+        rounds = direct_rounds(profile.demand)
+        if expect_max_pair is not None and rounds > expect_max_pair:
+            raise LoadBoundExceededError(
+                f"per-pair traffic of {rounds} words exceeds the asserted "
+                f"bound {expect_max_pair}"
+            )
+        self.meter.charge(
+            PhaseCost(
+                phase=phase,
+                primitive="send",
+                rounds=rounds,
+                words=profile.total_words,
+                payloads=profile.payloads,
+                max_send_words=profile.max_send,
+                max_recv_words=profile.max_recv,
+            )
+        )
+        return deliver(outboxes, self.n)
+
+    def route(
+        self,
+        outboxes: Outboxes,
+        *,
+        phase: str = "route",
+        expect_max_load: int | None = None,
+    ) -> list[list[tuple[int, Any]]]:
+        """Lenzen-routed exchange (the paper's workhorse primitive).
+
+        Rounds charged: ``2 * ceil(L / n)`` where ``L`` is the maximum
+        per-node send or receive load in words (FAST mode), or the emergent
+        length of a validated relay schedule (EXACT mode).
+
+        Args:
+            outboxes: ``outboxes[v]`` lists ``(dst, payload, words)`` triples.
+            expect_max_load: optional asserted per-node load bound from the
+                calling algorithm's analysis.
+        """
+        self._validate(outboxes)
+        profile = analyze(outboxes, self.n)
+        enforce_load_bound(profile, expect_max_load)
+        if self.mode is ScheduleMode.EXACT and profile.demand:
+            schedule = relay_schedule(profile.demand, self.n)
+            rounds = schedule.rounds
+        else:
+            rounds = relay_rounds_fast(profile.max_load, self.n)
+        self.meter.charge(
+            PhaseCost(
+                phase=phase,
+                primitive="route",
+                rounds=rounds,
+                words=profile.total_words,
+                payloads=profile.payloads,
+                max_send_words=profile.max_send,
+                max_recv_words=profile.max_recv,
+            )
+        )
+        return deliver(outboxes, self.n)
+
+    def transpose(
+        self,
+        row_values: Sequence[Sequence[Any]],
+        *,
+        words_per_entry: int = 1,
+        phase: str = "transpose",
+    ) -> list[list[Any]]:
+        """Matrix transpose: node ``v`` sends ``row_values[v][u]`` to node ``u``.
+
+        Costs ``words_per_entry`` rounds (each ordered pair carries exactly
+        one entry).  Returns ``columns`` with ``columns[u][v] =
+        row_values[v][u]``.
+        """
+        n = self.n
+        if len(row_values) != n or any(len(r) != n for r in row_values):
+            raise CliqueModelError("transpose expects an n x n value grid")
+        outboxes: Outboxes = [
+            [(u, row_values[v][u], words_per_entry) for u in range(n)]
+            for v in range(n)
+        ]
+        inboxes = self.send(outboxes, phase=phase)
+        columns: list[list[Any]] = []
+        for u in range(n):
+            col = [None] * n
+            for src, payload in inboxes[u]:
+                col[src] = payload
+            columns.append(col)
+        return columns
+
+    def allgather_records(
+        self,
+        records_per_node: Sequence[Sequence[Any]],
+        *,
+        words_per_record: int = 1,
+        phase: str = "allgather",
+    ) -> list[Any]:
+        """Replicate all records to every node in ``O(R / n)`` rounds.
+
+        This is the "collect full information about the graph structure"
+        primitive of Dolev et al. [24] used by the girth algorithm: first the
+        per-node record counts are broadcast (so everyone can compute the
+        balanced placement), then records are routed to evenly loaded holders
+        (round-robin by global index), and finally each holder broadcasts its
+        ``<= ceil(R / n)`` records.
+
+        Returns the canonical combined record list (every node's copy is
+        identical; a single shared list is returned to avoid ``n``-fold
+        memory blow-up in the simulator).
+        """
+        n = self.n
+        if len(records_per_node) != n:
+            raise CliqueModelError(f"expected {n} record lists")
+        counts = [len(r) for r in records_per_node]
+        self.broadcast(counts, words=1, phase=f"{phase}/counts")
+        total = sum(counts)
+        if total == 0:
+            return []
+        offsets = [0] * n
+        acc = 0
+        for v in range(n):
+            offsets[v] = acc
+            acc += counts[v]
+        outboxes: Outboxes = [[] for _ in range(n)]
+        for v in range(n):
+            for i, record in enumerate(records_per_node[v]):
+                holder = (offsets[v] + i) % n
+                outboxes[v].append((holder, record, words_per_record))
+        inboxes = self.route(outboxes, phase=f"{phase}/balance")
+        held: list[list[Any]] = [[rec for _src, rec in inboxes[v]] for v in range(n)]
+        # Include records a node kept for itself (self-addressed are delivered
+        # too by `deliver`, so `held` is already complete).
+        per_holder = math.ceil(total / n)
+        widths = [min(len(h), per_holder) * words_per_record for h in held]
+        if any(len(h) > per_holder for h in held):
+            raise AssertionError("round-robin placement exceeded ceil(R/n)")
+        self.broadcast(held, words=widths, phase=f"{phase}/broadcast")
+        combined: list[Any] = []
+        for h in held:
+            combined.extend(h)
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _validate(self, outboxes: Outboxes) -> None:
+        try:
+            validate_outboxes(outboxes, self.n, allow_self=True)
+        except ValueError as exc:
+            raise CliqueModelError(str(exc)) from exc
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds charged on this clique so far."""
+        return self.meter.rounds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CongestedClique(n={self.n}, word_bits={self.word_bits}, "
+            f"mode={self.mode.value}, rounds={self.rounds})"
+        )
+
+
+__all__ = ["CongestedClique", "ScheduleMode"]

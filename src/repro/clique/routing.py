@@ -1,0 +1,103 @@
+"""Load analysis for routed exchanges on the congested clique.
+
+Separates the *accounting* of a communication phase (how many rounds a legal
+schedule needs) from the *data movement* (which the simulator performs
+directly).  Used by :class:`repro.clique.model.CongestedClique`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.clique.scheduling import Demand
+from repro.errors import LoadBoundExceededError
+
+# outboxes[v] = list of (dst, payload, words) messages node v emits.
+Outboxes = list[list[tuple[int, Any, int]]]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Communication loads induced by a set of outboxes.
+
+    ``send_words[v]`` / ``recv_words[v]`` exclude self-addressed payloads,
+    which are local moves and free in the model.
+    """
+
+    send_words: list[int]
+    recv_words: list[int]
+    total_words: int
+    payloads: int
+    demand: Demand
+
+    @property
+    def max_send(self) -> int:
+        return max(self.send_words, default=0)
+
+    @property
+    def max_recv(self) -> int:
+        return max(self.recv_words, default=0)
+
+    @property
+    def max_load(self) -> int:
+        return max(self.max_send, self.max_recv)
+
+
+def analyze(outboxes: Outboxes, n: int) -> LoadProfile:
+    """Compute per-node and per-pair loads for a set of outboxes."""
+    send = [0] * n
+    recv = [0] * n
+    demand: Demand = defaultdict(int)
+    total = 0
+    payloads = 0
+    for v, box in enumerate(outboxes):
+        for dst, _payload, words in box:
+            payloads += 1
+            if dst == v:
+                continue  # local move, free
+            send[v] += words
+            recv[dst] += words
+            demand[(v, dst)] += words
+            total += words
+    return LoadProfile(
+        send_words=send,
+        recv_words=recv,
+        total_words=total,
+        payloads=payloads,
+        demand=dict(demand),
+    )
+
+
+def enforce_load_bound(profile: LoadProfile, expect_max_load: int | None) -> None:
+    """Raise if the observed max per-node load exceeds an asserted bound.
+
+    Algorithms pass the bound their analysis promises (e.g. the 3D matmul
+    asserts ``2 n^{4/3}`` words per node); a violation indicates an
+    implementation bug rather than a model violation.
+    """
+    if expect_max_load is not None and profile.max_load > expect_max_load:
+        raise LoadBoundExceededError(
+            f"max per-node load {profile.max_load} exceeds the asserted "
+            f"bound {expect_max_load}"
+        )
+
+
+def deliver(outboxes: Outboxes, n: int) -> list[list[tuple[int, Any]]]:
+    """Move every payload to its destination inbox.
+
+    Returns ``inboxes`` with ``inboxes[u]`` a list of ``(src, payload)``
+    pairs, ordered by source id and then by emission order -- a deterministic
+    order so simulations are reproducible.
+    """
+    inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
+    for v, box in enumerate(outboxes):
+        for dst, payload, _words in box:
+            inboxes[dst].append((v, payload))
+    for box in inboxes:
+        box.sort(key=lambda item: item[0])
+    return inboxes
+
+
+__all__ = ["Outboxes", "LoadProfile", "analyze", "enforce_load_bound", "deliver"]

@@ -1,0 +1,148 @@
+"""Graph containers for the congested-clique algorithms.
+
+The model's input convention (paper §1): the graph has one node per clique
+node, and node ``v`` initially knows exactly its incident edges -- row ``v``
+of the adjacency matrix (and of the weight matrix, for weighted problems).
+For directed graphs we follow the standard congested-clique convention that
+``v`` knows both its out- and in-edges.
+
+A :class:`Graph` stores the full matrices for the simulator's convenience;
+algorithms must only access row ``v`` inside node ``v``'s code path (see
+DESIGN.md "honesty notes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import INF
+
+
+@dataclass
+class Graph:
+    """A simple graph (no self-loops, no multi-edges), possibly weighted.
+
+    Attributes:
+        n: number of nodes (node ids ``0 .. n-1``).
+        adjacency: ``(n, n)`` 0/1 ``int64`` matrix; symmetric when
+            undirected; zero diagonal.
+        directed: orientation flag.
+        weights: optional ``(n, n)`` ``int64`` matrix aligned with
+            ``adjacency``: ``weights[u, v]`` is the edge weight where
+            ``adjacency[u, v] == 1`` and ignored elsewhere.
+    """
+
+    n: int
+    adjacency: np.ndarray
+    directed: bool = False
+    weights: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.adjacency = np.asarray(self.adjacency, dtype=np.int64)
+        if self.adjacency.shape != (self.n, self.n):
+            raise ValueError(
+                f"adjacency must be {self.n} x {self.n}, got {self.adjacency.shape}"
+            )
+        if np.any(np.diag(self.adjacency) != 0):
+            raise ValueError("self-loops are not supported")
+        if not self.directed and not np.array_equal(
+            self.adjacency, self.adjacency.T
+        ):
+            raise ValueError("undirected graph needs a symmetric adjacency matrix")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.int64)
+            if self.weights.shape != (self.n, self.n):
+                raise ValueError("weights must match the adjacency shape")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: list[tuple[int, int]], directed: bool = False
+    ) -> "Graph":
+        """Build an unweighted graph from an edge list."""
+        adj = np.zeros((n, n), dtype=np.int64)
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v})")
+            adj[u, v] = 1
+            if not directed:
+                adj[v, u] = 1
+        return cls(n=n, adjacency=adj, directed=directed)
+
+    @classmethod
+    def from_weighted_edges(
+        cls,
+        n: int,
+        edges: list[tuple[int, int, int]],
+        directed: bool = False,
+    ) -> "Graph":
+        """Build a weighted graph from ``(u, v, weight)`` triples."""
+        adj = np.zeros((n, n), dtype=np.int64)
+        w = np.zeros((n, n), dtype=np.int64)
+        for u, v, weight in edges:
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v})")
+            adj[u, v] = 1
+            w[u, v] = weight
+            if not directed:
+                adj[v, u] = 1
+                w[v, u] = weight
+        return cls(n=n, adjacency=adj, directed=directed, weights=w)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges (unordered for undirected graphs)."""
+        total = int(self.adjacency.sum())
+        return total if self.directed else total // 2
+
+    def degrees(self) -> np.ndarray:
+        """Out-degrees (row sums); equals degrees for undirected graphs."""
+        return self.adjacency.sum(axis=1)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbour ids of ``v``."""
+        return np.nonzero(self.adjacency[v])[0]
+
+    def weight_matrix(self) -> np.ndarray:
+        """The §3.3 weight matrix: ``W[u,u] = 0``, ``INF`` for non-edges.
+
+        Unweighted graphs get unit weights.
+        """
+        w = np.full((self.n, self.n), INF, dtype=np.int64)
+        if self.weights is not None:
+            edge = self.adjacency == 1
+            w[edge] = self.weights[edge]
+        else:
+            w[self.adjacency == 1] = 1
+        np.fill_diagonal(w, 0)
+        return w
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Edge list; ``u < v`` canonical form for undirected graphs."""
+        if self.directed:
+            us, vs = np.nonzero(self.adjacency)
+            return list(zip(us.tolist(), vs.tolist()))
+        us, vs = np.nonzero(np.triu(self.adjacency))
+        return list(zip(us.tolist(), vs.tolist()))
+
+    def max_abs_weight(self) -> int:
+        """Largest absolute edge weight (1 for unweighted graphs)."""
+        if self.weights is None:
+            return 1 if self.edge_count else 0
+        edge = self.adjacency == 1
+        if not edge.any():
+            return 0
+        return int(np.max(np.abs(self.weights[edge])))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self.directed else "undirected"
+        weighted = "weighted" if self.weights is not None else "unweighted"
+        return f"Graph(n={self.n}, m={self.edge_count}, {kind}, {weighted})"
+
+
+__all__ = ["Graph"]

@@ -1,0 +1,59 @@
+"""Naive O(n)-round matrix multiplication baseline.
+
+The obvious congested-clique algorithm: every node broadcasts its row of the
+right operand (``n`` words per node, hence ``n`` rounds at unit width), after
+which each node multiplies its own row of ``S`` against the fully replicated
+``T`` locally.  Table 1 lists no prior work for semiring matmul -- this
+baseline is the implicit comparison point the paper's ``O(n^{1/3})`` improves
+on, and the benchmark harness uses it to show the crossover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra.semirings import PLUS_TIMES, Semiring
+from repro.clique.messages import words_for_array
+from repro.clique.model import CongestedClique
+
+
+def broadcast_matmul(
+    clique: CongestedClique,
+    s: np.ndarray,
+    t: np.ndarray,
+    semiring: Semiring = PLUS_TIMES,
+    *,
+    with_witnesses: bool = False,
+    phase: str = "naive-matmul",
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Multiply via full replication of ``T``: ``O(n)`` rounds.
+
+    Same input/output convention as
+    :func:`repro.matmul.semiring3d.semiring_matmul`.
+    """
+    n = clique.n
+    s = np.asarray(s, dtype=np.int64)
+    t = np.asarray(t, dtype=np.int64)
+    if s.shape != (n, n) or t.shape != (n, n):
+        raise ValueError(f"operands must be {n} x {n} matrices")
+    word_bits = clique.word_bits
+    widths = [words_for_array(t[v], word_bits) for v in range(n)]
+    received = clique.broadcast(
+        [t[v] for v in range(n)], words=widths, phase=f"{phase}/replicate-T"
+    )
+    p = semiring.zeros((n, n))
+    w_out = np.full((n, n), -1, dtype=np.int64) if with_witnesses else None
+    for v in range(n):
+        t_full = np.vstack(received[v])
+        if with_witnesses:
+            prod, wit = semiring.matmul_with_witness(s[v : v + 1, :], t_full)
+            p[v] = prod[0]
+            w_out[v] = wit[0]
+        else:
+            p[v] = semiring.matmul(s[v : v + 1, :], t_full)[0]
+    if with_witnesses:
+        return p, w_out
+    return p
+
+
+__all__ = ["broadcast_matmul"]

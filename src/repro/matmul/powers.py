@@ -1,0 +1,100 @@
+"""Matrix powers on the clique: the iterated-squaring workhorse.
+
+Every distance/reachability algorithm in §3 is "compute a matrix power by
+repeated squaring"; this module exposes that pattern as a first-class
+primitive so downstream users don't re-implement the loop:
+
+* :func:`matrix_power` -- ``A^k`` over any semiring via binary
+  exponentiation, ``O(log k)`` products;
+* :func:`closure` -- ``A^{>=1}`` summed under the semiring's addition up to
+  path length ``n`` (transitive closure over the Boolean semiring, all-pairs
+  distances over min-plus), ``O(log n)`` squarings.
+
+Engine selection matches :mod:`repro.runtime`: rings may use the fast §2.2
+engine; selection semirings run on §2.1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algebra.semirings import PLUS_TIMES, Semiring
+from repro.clique.model import CongestedClique
+from repro.matmul.semiring3d import semiring_matmul
+
+
+def matrix_power(
+    clique: CongestedClique,
+    matrix: np.ndarray,
+    exponent: int,
+    semiring: Semiring = PLUS_TIMES,
+    *,
+    phase: str = "matrix-power",
+) -> np.ndarray:
+    """``matrix^exponent`` over a semiring, by binary exponentiation.
+
+    ``exponent = 0`` returns the multiplicative identity pattern for the
+    common semirings (1 on the diagonal for plus-times/Boolean, 0-diagonal /
+    zero-elsewhere for min-plus style selection semirings).
+    """
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    n = clique.n
+    matrix = np.asarray(matrix, dtype=np.int64)
+    if matrix.shape != (n, n):
+        raise ValueError(f"matrix must be {n} x {n}")
+    if exponent == 0:
+        identity = semiring.zeros((n, n))
+        np.fill_diagonal(identity, semiring.one_value)
+        return identity
+
+    result: np.ndarray | None = None
+    base = matrix
+    e = exponent
+    step = 0
+    while e:
+        if e & 1:
+            result = (
+                base
+                if result is None
+                else semiring_matmul(
+                    clique, result, base, semiring, phase=f"{phase}/mul{step}"
+                )
+            )
+        e >>= 1
+        if e:
+            base = semiring_matmul(
+                clique, base, base, semiring, phase=f"{phase}/sq{step}"
+            )
+        step += 1
+    assert result is not None
+    return result
+
+
+def closure(
+    clique: CongestedClique,
+    matrix: np.ndarray,
+    semiring: Semiring,
+    *,
+    phase: str = "closure",
+) -> np.ndarray:
+    """Sum of all powers up to ``n`` -- "paths of any length" semantics.
+
+    Implemented as ``ceil(log2 n)`` squarings of ``A (+) I``-style
+    accumulation: ``B <- B (x) B (+) A`` starting from ``B = A``, which
+    after ``t`` steps covers all walks of length ``<= 2^t`` (paper eq. (4),
+    the directed-girth recurrence, generalised to any semiring).
+    """
+    n = clique.n
+    accum = np.asarray(matrix, dtype=np.int64)
+    for step in range(max(1, math.ceil(math.log2(max(2, n))))):
+        squared = semiring_matmul(
+            clique, accum, accum, semiring, phase=f"{phase}/sq{step}"
+        )
+        accum = semiring.add(squared, np.asarray(matrix, dtype=np.int64))
+    return accum
+
+
+__all__ = ["matrix_power", "closure"]

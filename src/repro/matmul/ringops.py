@@ -1,0 +1,86 @@
+"""Ring operations the bilinear clique algorithm is generic over.
+
+Lemma 10 holds "over any ring R" with a ``b / log n`` width factor for
+``b``-bit ring elements.  The two rings the paper uses:
+
+* the **integers** (triangle/4-cycle counting, Seidel, Boolean products via
+  thresholding) -- entries are scalars;
+* the **capped polynomial ring** ``Z[X]`` of Lemma 18 (distance products with
+  small entries) -- entries are coefficient vectors, carried as a trailing
+  array axis.
+
+A :class:`RingOps` instance tells the engine how to multiply assembled block
+matrices and how many words a shipped entry costs; linear-combination steps
+are plain tensor contractions and need no dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra.polynomial import poly_matmul
+from repro.clique.messages import words_for_value
+
+
+class RingOps:
+    """Interface: local block product + honest per-entry word widths."""
+
+    #: number of trailing array axes an entry occupies (0 for scalars).
+    trailing_axes: int = 0
+
+    def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def entry_words(self, arr: np.ndarray, word_bits: int) -> int:
+        """Words per entry when shipping (a sub-tensor of) ``arr``."""
+        raise NotImplementedError
+
+    def array_words(self, arr: np.ndarray, word_bits: int) -> int:
+        """Total words for shipping ``arr``."""
+        arr = np.asarray(arr)
+        entries = arr.size
+        for _ in range(self.trailing_axes):
+            entries //= arr.shape[-1] if arr.shape[-1] else 1
+        if entries == 0:
+            return 0
+        return entries * self.entry_words(arr, word_bits)
+
+
+class IntegerRingOps(RingOps):
+    """Plain integer matrices (``int64``)."""
+
+    trailing_axes = 0
+
+    def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return x @ y
+
+    def entry_words(self, arr: np.ndarray, word_bits: int) -> int:
+        arr = np.asarray(arr)
+        max_abs = int(np.max(np.abs(arr))) if arr.size else 0
+        return words_for_value(max_abs, word_bits)
+
+
+class PolynomialRingOps(RingOps):
+    """Capped-degree polynomial matrices: shape ``(r, c, D)`` tensors.
+
+    An entry is ``D`` integer coefficients, so it costs ``D *
+    words(coefficient)`` words -- the explicit ``O(M)``-factor blow-up that
+    Lemma 18's round bound charges.
+    """
+
+    trailing_axes = 1
+
+    def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return poly_matmul(x, y)
+
+    def entry_words(self, arr: np.ndarray, word_bits: int) -> int:
+        arr = np.asarray(arr)
+        max_abs = int(np.max(np.abs(arr))) if arr.size else 0
+        return arr.shape[-1] * words_for_value(max_abs, word_bits)
+
+
+#: Shared singleton instances.
+INTEGER_RING = IntegerRingOps()
+POLYNOMIAL_RING = PolynomialRingOps()
+
+__all__ = ["RingOps", "IntegerRingOps", "PolynomialRingOps", "INTEGER_RING", "POLYNOMIAL_RING"]

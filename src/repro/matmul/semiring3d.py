@@ -1,0 +1,201 @@
+"""The 3D semiring matrix multiplication algorithm (paper §2.1, Theorem 1).
+
+Computes ``P = S T`` over any semiring on a congested clique of ``n = q^3``
+nodes in ``O(n^{1/3})`` rounds.  The ``n^3`` elementary products are viewed
+as the cube ``V x V x V``, partitioned into ``n`` subcubes of side
+``n^{2/3}``; node ``v = v1 v2 v3`` computes the block product
+
+    ``P^{(v2)}[v1**, v3**] = S[v1**, v2**] . T[v2**, v3**]``
+
+and the partial products are recombined with semiring addition.  The
+communication pattern is oblivious (input-independent), matching the paper's
+observation that the static routing of Dolev et al. suffices.
+
+Input/output convention (paper §2): node ``v`` initially holds row ``v`` of
+both ``S`` and ``T``, and finally holds row ``v`` of ``P``.  The simulator
+passes full matrices for convenience, but every step below only touches the
+rows a node legitimately owns or has received.
+
+For selection semirings (min-plus, max-min) the algorithm optionally returns
+a *witness matrix*: ``W[u, v]`` is an inner index attaining ``P[u, v]``,
+which §3.3 turns into routing tables.  Witnesses ride along with the data
+(doubling payload width) and fall out of the local block products for free,
+exactly because the semiring engine takes arg-min locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra.semirings import PLUS_TIMES, Semiring
+from repro.clique.messages import words_for_array, words_for_value
+from repro.clique.model import CongestedClique
+from repro.matmul.layout import CubeLayout
+
+#: Slack multiplier on the asserted per-node load bounds: the analysis bound
+#: is 2 n^{4/3} *entries*; the width in words multiplies it, and padding can
+#: add a little, so algorithms assert with a factor-4 safety margin (a true
+#: implementation bug overshoots by far more).
+_LOAD_SLACK = 4
+
+
+def semiring_matmul(
+    clique: CongestedClique,
+    s: np.ndarray,
+    t: np.ndarray,
+    semiring: Semiring = PLUS_TIMES,
+    *,
+    with_witnesses: bool = False,
+    phase: str = "semiring3d",
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Multiply ``n x n`` matrices over a semiring in ``O(n^{1/3})`` rounds.
+
+    Args:
+        clique: an ``n``-node clique with ``n`` a perfect cube (pad with
+            :func:`repro.matmul.layout.next_cube` otherwise).
+        s: left operand, ``int64``, row ``v`` owned by node ``v``.
+        t: right operand, same convention.
+        semiring: the semiring to multiply over (default: integer ring --
+            which §2.1 also covers, just without the §2.2 speedup).
+        with_witnesses: if set (selection semirings only), also return the
+            witness matrix ``W`` with ``P[u,v] = S[u, W[u,v]] (x) T[W[u,v], v]``.
+        phase: cost-meter label prefix.
+
+    Returns:
+        ``P``, or ``(P, W)`` when ``with_witnesses`` is set.
+    """
+    n = clique.n
+    layout = CubeLayout.for_clique(n)
+    q = layout.q
+    s = np.ascontiguousarray(np.asarray(s, dtype=np.int64))
+    t = np.ascontiguousarray(np.asarray(t, dtype=np.int64))
+    if s.shape != (n, n) or t.shape != (n, n):
+        raise ValueError(f"operands must be {n} x {n} matrices")
+    if with_witnesses and not semiring.has_witnesses:
+        raise ValueError(f"semiring {semiring.name} does not support witnesses")
+    word_bits = clique.word_bits
+    q2 = q * q
+
+    # ---------------- Step 1: distribute the entries. ------------------- #
+    # Node v sends S[v, u2**] to each u in v1** and T[v, w3**] to each w in
+    # *v1* (i.e. w2 = v1), so that node u assembles S[u1**, u2**] and
+    # T[u2**, u3**].  Each node ships 2 q^2 submatrices of q^2 entries:
+    # 2 n^{4/3} words at unit width.
+    outboxes: list[list[tuple[int, object, int]]] = [[] for _ in range(n)]
+    for v in range(n):
+        v1 = v // q2
+        s_row = s[v]
+        t_row = t[v]
+        for u2 in range(q):
+            piece = s_row[layout.block_slice(u2)]
+            width = words_for_array(piece, word_bits)
+            for u3 in range(q):
+                u = layout.node(v1, u2, u3)
+                outboxes[v].append((u, ("S", v, piece), width))
+        for w1 in range(q):
+            for w3 in range(q):
+                w = layout.node(w1, v1, w3)
+                piece = t_row[layout.block_slice(w3)]
+                width = words_for_array(piece, word_bits)
+                outboxes[v].append((w, ("T", v, piece), width))
+    max_abs = max(
+        int(np.max(np.abs(s))) if s.size else 0,
+        int(np.max(np.abs(t))) if t.size else 0,
+    )
+    max_entry_words = words_for_value(max_abs, word_bits)
+    inboxes = clique.route(
+        outboxes,
+        phase=f"{phase}/step1-distribute",
+        expect_max_load=_LOAD_SLACK * 2 * q2 * q2 * max_entry_words,
+    )
+
+    # ---------------- Step 2: local block products. --------------------- #
+    s_blocks: list[np.ndarray] = []
+    t_blocks: list[np.ndarray] = []
+    for v in range(n):
+        v1, v2, _v3 = layout.digits(v)
+        s_block = semiring.zeros((q2, q2))
+        t_block = semiring.zeros((q2, q2))
+        s_base, _ = layout.first_digit_range(v1)
+        t_base, _ = layout.first_digit_range(v2)
+        for src, (kind, row, piece) in inboxes[v]:
+            if kind == "S":
+                s_block[row - s_base] = piece
+            else:
+                t_block[row - t_base] = piece
+            assert src == row
+        s_blocks.append(s_block)
+        t_blocks.append(t_block)
+
+    products: list[np.ndarray] = []
+    witness_blocks: list[np.ndarray | None] = []
+    for v in range(n):
+        if with_witnesses:
+            _, v2, _ = layout.digits(v)
+            prod, wit = semiring.matmul_with_witness(s_blocks[v], t_blocks[v])
+            k_base, _ = layout.first_digit_range(v2)
+            witness_blocks.append(wit + k_base)  # local k -> global node id
+        else:
+            prod = semiring.matmul(s_blocks[v], t_blocks[v])
+            witness_blocks.append(None)
+        products.append(prod)
+
+    # ---------------- Step 3: distribute the partial products. ---------- #
+    # Node v holds P^{(v2)}[v1**, v3**]; it sends row u's slice to node u
+    # for each u in v1**.  n^{4/3} words each way (x2 with witnesses).
+    witness_words = words_for_value(n, word_bits)
+    outboxes = [[] for _ in range(n)]
+    for v in range(n):
+        v1, v2, v3 = layout.digits(v)
+        base, _ = layout.first_digit_range(v1)
+        prod = products[v]
+        wit = witness_blocks[v]
+        for local_row in range(q2):
+            u = base + local_row
+            piece = prod[local_row]
+            width = words_for_array(piece, word_bits)
+            if with_witnesses:
+                payload = (v2, v3, piece, wit[local_row])
+                width += piece.size * witness_words
+            else:
+                payload = (v2, v3, piece, None)
+            outboxes[v].append((u, payload, width))
+    inboxes = clique.route(
+        outboxes,
+        phase=f"{phase}/step3-recombine",
+        expect_max_load=_LOAD_SLACK
+        * q2
+        * q2
+        * (max_entry_words + (witness_words if with_witnesses else 0)),
+    )
+
+    # ---------------- Step 4: assemble the result rows. ----------------- #
+    p = semiring.zeros((n, n))
+    w_out = np.full((n, n), -1, dtype=np.int64) if with_witnesses else None
+    for v in range(n):
+        row = semiring.zeros((q, n))  # one slot per middle digit w2
+        row_wit = np.zeros((q, n), dtype=np.int64) if with_witnesses else None
+        for _src, (u2, u3, piece, wit_piece) in inboxes[v]:
+            cols = layout.block_slice(u3)
+            row[u2, cols] = piece
+            if with_witnesses:
+                row_wit[u2, cols] = wit_piece
+        if with_witnesses:
+            acc, acc_w = row[0], row_wit[0]
+            for w2 in range(1, q):
+                acc, acc_w = semiring.add_with_witness(
+                    acc, acc_w, row[w2], row_wit[w2]
+                )
+            p[v] = acc
+            w_out[v] = acc_w
+        else:
+            acc = row[0]
+            for w2 in range(1, q):
+                acc = semiring.add(acc, row[w2])
+            p[v] = acc
+    if with_witnesses:
+        return p, w_out
+    return p
+
+
+__all__ = ["semiring_matmul"]

@@ -1,0 +1,169 @@
+"""Shared runtime glue between graphs and the matmul engines.
+
+Graph algorithms in the paper implicitly assume the clique size has whatever
+arithmetic shape the matmul engine needs ("assume for convenience that
+``n^{1/3}`` is an integer").  This module centralises the lifting: an
+``n``-node graph problem runs on the smallest valid clique ``N >= n`` for
+the chosen engine, with matrices padded by isolated nodes (all-zero
+adjacency rows / all-``INF`` weight rows), which changes no answers and only
+inflates constants.
+
+It also provides :class:`RunResult`, the uniform return type of every
+application-level algorithm: the answer plus the communication bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.algebra.semirings import PLUS_TIMES
+from repro.clique.accounting import CostMeter
+from repro.clique.model import CongestedClique, ScheduleMode
+from repro.constants import INF
+from repro.matmul.bilinear_clique import bilinear_matmul, default_algorithm
+from repro.matmul.layout import next_cube, next_square
+from repro.matmul.naive import broadcast_matmul
+from repro.matmul.semiring3d import semiring_matmul
+
+#: The three matmul engines applications can run on.
+MATMUL_METHODS = ("bilinear", "semiring", "naive")
+
+
+@dataclass
+class RunResult:
+    """The outcome of one distributed computation.
+
+    Attributes:
+        value: the algorithm's answer (count, boolean, matrix, ...).
+        rounds: total congested-clique rounds consumed.
+        clique_size: the (possibly padded) clique the run used.
+        meter: the full per-phase cost breakdown.
+        extras: algorithm-specific diagnostics (e.g. approximation ratio
+            bounds, recursion depth, trial counts).
+    """
+
+    value: Any
+    rounds: int
+    clique_size: int
+    meter: CostMeter
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def required_clique_size(n: int, method: str) -> int:
+    """Smallest clique size ``>= n`` on which ``method`` can run."""
+    if method == "semiring":
+        return next_cube(n)
+    if method == "bilinear":
+        return next_square(n)
+    if method == "naive":
+        return n
+    raise ValueError(f"unknown matmul method {method!r}")
+
+
+def make_clique(
+    n: int,
+    method: str = "bilinear",
+    *,
+    mode: ScheduleMode = ScheduleMode.FAST,
+    word_bits: int | None = None,
+) -> CongestedClique:
+    """A clique sized for an ``n``-node problem under ``method``."""
+    return CongestedClique(
+        required_clique_size(n, method), mode=mode, word_bits=word_bits
+    )
+
+
+def pad_matrix(matrix: np.ndarray, size: int, fill: int = 0) -> np.ndarray:
+    """Zero/INF-pad a square matrix up to ``size`` (isolated virtual nodes).
+
+    The diagonal of the padded region is forced to ``0`` so that padded
+    weight matrices remain valid (``W[u, u] = 0``).
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    n = matrix.shape[0]
+    if size < n:
+        raise ValueError(f"cannot pad {n} down to {size}")
+    if size == n:
+        return matrix.copy()
+    out = np.full((size, size), fill, dtype=np.int64)
+    out[:n, :n] = matrix
+    if fill != 0:
+        idx = np.arange(n, size)
+        out[idx, idx] = 0
+    return out
+
+
+def integer_product(
+    clique: CongestedClique,
+    x: np.ndarray,
+    y: np.ndarray,
+    method: str,
+    *,
+    phase: str,
+) -> np.ndarray:
+    """Integer matrix product under the chosen engine."""
+    if method == "bilinear":
+        return bilinear_matmul(
+            clique, x, y, default_algorithm(clique.n), phase=phase
+        )
+    if method == "semiring":
+        return semiring_matmul(clique, x, y, PLUS_TIMES, phase=phase)
+    if method == "naive":
+        return broadcast_matmul(clique, x, y, PLUS_TIMES, phase=phase)
+    raise ValueError(f"unknown matmul method {method!r}")
+
+
+def boolean_product(
+    clique: CongestedClique,
+    x: np.ndarray,
+    y: np.ndarray,
+    method: str,
+    *,
+    phase: str,
+) -> np.ndarray:
+    """Boolean matrix product: integer product + threshold.
+
+    Thresholding after every product keeps entries 0/1, so the ``b/log n``
+    width factor of §1.1 stays constant through repeated squarings.
+    """
+    product = integer_product(
+        clique, (x > 0).astype(np.int64), (y > 0).astype(np.int64), method, phase=phase
+    )
+    return (product > 0).astype(np.int64)
+
+
+def or_broadcast(clique: CongestedClique, local_bits: list[bool], phase: str) -> bool:
+    """One round: every node announces a bit; returns the global OR."""
+    received = clique.broadcast(
+        [1 if b else 0 for b in local_bits], words=1, phase=phase
+    )
+    return any(received[0])
+
+
+def sum_broadcast(
+    clique: CongestedClique, local_values: list[int], phase: str, words: int = 2
+) -> int:
+    """One broadcast: every node announces a partial sum; returns the total.
+
+    ``words=2`` covers values up to ``n^{O(1)}`` at the default word size --
+    the widths triangle/4-cycle partial counts need.
+    """
+    received = clique.broadcast(local_values, words=words, phase=phase)
+    return int(sum(received[0]))
+
+
+__all__ = [
+    "RunResult",
+    "MATMUL_METHODS",
+    "required_clique_size",
+    "make_clique",
+    "pad_matrix",
+    "integer_product",
+    "boolean_product",
+    "or_broadcast",
+    "sum_broadcast",
+    "INF",
+]

@@ -1,0 +1,34 @@
+"""Subgraph detection and counting (paper §3.1)."""
+
+from repro.subgraphs.colour_coding import (
+    default_trials,
+    detect_colourful_cycle,
+    detect_k_cycle,
+)
+from repro.subgraphs.counting import (
+    count_five_cycles,
+    count_four_cycles,
+    count_triangles,
+)
+from repro.subgraphs.four_cycle import (
+    Tile,
+    build_tiling,
+    detect_four_cycles,
+    tile_side,
+)
+from repro.subgraphs.paths import detect_colourful_path, detect_k_path
+
+__all__ = [
+    "detect_k_path",
+    "detect_colourful_path",
+    "count_triangles",
+    "count_four_cycles",
+    "count_five_cycles",
+    "detect_k_cycle",
+    "detect_colourful_cycle",
+    "default_trials",
+    "detect_four_cycles",
+    "build_tiling",
+    "tile_side",
+    "Tile",
+]

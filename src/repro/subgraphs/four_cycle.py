@@ -1,0 +1,221 @@
+"""Constant-round 4-cycle detection (paper Theorem 4, Lemmas 12-13).
+
+A 4-cycle exists iff some pair ``x != z`` has two distinct 2-walks
+``x - y - z``.  The algorithm:
+
+1. Broadcast degrees (1 round).  Node ``x`` computes
+   ``|P(x,*,*)| = sum_{y in N(x)} deg(y)``; if that reaches ``2n - 1`` the
+   pigeonhole already certifies a 4-cycle -- stop.
+2. Otherwise the total 2-walk volume is below ``2 n^2``, so the walks can be
+   spread evenly: Lemma 12 packs disjoint tiles ``A(y) x B(y)`` of side
+   ``f(y) >= deg(y)/8`` into a ``k x k`` square (all sides are powers of two
+   and the total area fits, so a buddy allocator succeeds); every node can
+   compute the packing locally from the public degree sequence.
+3. Node ``y`` splits ``N(y)`` into chunks ``NA(y, a)`` / ``NB(y, b)`` of at
+   most 8 ids, ships ``NA(y, a)`` to each ``a in A(y)`` (direct, <= 8 words
+   per pair), and each ``a`` forwards to every ``b in B(y)`` (tiles are
+   disjoint, so again <= 9 words per ordered pair): O(1) rounds.
+4. Node ``b`` now knows ``N(y)`` for every ``y`` with ``b in B(y)`` and
+   forms its walk bundle ``W(b)`` (Lemma 13: ``|W(b)| = O(n)``); the walks
+   are routed to their left endpoints (load ``O(n)`` per node -> O(1)
+   rounds), where the duplicate-pair check is local.
+
+Total: O(1) rounds regardless of ``n`` -- the flattest row of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clique.model import CongestedClique, ScheduleMode
+from repro.graphs.graphs import Graph
+from repro.runtime import RunResult, or_broadcast
+
+_CHUNK = 8
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A square tile ``A(y) x B(y)`` allocated to node ``y`` (Lemma 12)."""
+
+    y: int
+    row_start: int
+    col_start: int
+    side: int
+
+    @property
+    def rows(self) -> range:
+        return range(self.row_start, self.row_start + self.side)
+
+    @property
+    def cols(self) -> range:
+        return range(self.col_start, self.col_start + self.side)
+
+
+def tile_side(degree: int) -> int:
+    """Lemma 12 side ``f(y)``: ``deg/4`` rounded down to a power of two.
+
+    Degrees below 4 get side 1 (they still satisfy ``f >= deg/8`` and the
+    <=8-element chunk bound); isolated nodes get no tile.
+    """
+    if degree <= 0:
+        return 0
+    if degree < 4:
+        return 1
+    return 1 << ((degree // 4).bit_length() - 1)
+
+
+def build_tiling(degrees: np.ndarray, n: int) -> list[Tile]:
+    """Pack the tiles ``f(y) x f(y)`` disjointly into a ``k x k`` square.
+
+    ``k`` is ``n`` rounded down to a power of two.  A buddy allocator over
+    power-of-two squares: since the total area is at most ``n + n^2/8 <
+    k^2`` (Lemma 12's counting argument plus the side-1 tiles), allocating
+    largest-first never fails.  Deterministic, so every node computes the
+    identical packing from the broadcast degree sequence.
+    """
+    k = 1 << (max(1, int(n)).bit_length() - 1)
+    free: dict[int, list[tuple[int, int]]] = {k: [(0, 0)]}
+
+    def allocate(side: int) -> tuple[int, int]:
+        size = side
+        while size <= k and not free.get(size):
+            size *= 2
+        if size > k:
+            raise AssertionError(
+                "Lemma 12 packing overflow -- degree volume bound violated"
+            )
+        while size > side:
+            r, c = free[size].pop()
+            half = size // 2
+            free.setdefault(half, []).extend(
+                [(r, c), (r, c + half), (r + half, c), (r + half, c + half)]
+            )
+            size = half
+        return free[side].pop()
+
+    order = sorted(
+        (y for y in range(n) if degrees[y] > 0),
+        key=lambda y: -tile_side(int(degrees[y])),
+    )
+    tiles = []
+    for y in order:
+        side = tile_side(int(degrees[y]))
+        r, c = allocate(side)
+        tiles.append(Tile(y=y, row_start=r, col_start=c, side=side))
+    tiles.sort(key=lambda tile: tile.y)
+    return tiles
+
+
+def _chunks(items: np.ndarray, parts: int) -> list[np.ndarray]:
+    """Split ``items`` into ``parts`` chunks of size <= ceil(len/parts)."""
+    return [chunk for chunk in np.array_split(items, parts)]
+
+
+def detect_four_cycles(
+    graph: Graph,
+    *,
+    clique: CongestedClique | None = None,
+    mode: ScheduleMode = ScheduleMode.FAST,
+) -> RunResult:
+    """Theorem 4: 4-cycle existence in O(1) rounds."""
+    if graph.directed:
+        raise ValueError("Theorem 4 is stated for undirected graphs")
+    n = graph.n
+    clique = clique or CongestedClique(max(2, n), mode=mode)
+    if clique.n < n:
+        raise ValueError("clique too small for the graph")
+    a = graph.adjacency
+    degrees_local = [int(a[v].sum()) if v < n else 0 for v in range(clique.n)]
+
+    # Phase 1: degree broadcast + pigeonhole test.
+    received = clique.broadcast(degrees_local, words=1, phase="c4/degrees")
+    degrees = np.array(received[0], dtype=np.int64)
+    walk_volume = [
+        int(degrees[graph.neighbors(x)].sum()) if x < n else 0
+        for x in range(clique.n)
+    ]
+    overloaded = [vol >= 2 * n - 1 for vol in walk_volume]
+    if or_broadcast(clique, overloaded, phase="c4/pigeonhole"):
+        return RunResult(
+            value=True,
+            rounds=clique.rounds,
+            clique_size=clique.n,
+            meter=clique.meter,
+            extras={"phase": "pigeonhole"},
+        )
+
+    # Phase 2: Lemma 12 tiling (local, from the public degree sequence).
+    tiles = build_tiling(degrees[:n], n)
+    tile_of = {tile.y: tile for tile in tiles}
+
+    # Step A: y ships NA(y, a) to each a in A(y).
+    outboxes: list[list[tuple[int, object, int]]] = [[] for _ in range(clique.n)]
+    for tile in tiles:
+        y = tile.y
+        neigh = graph.neighbors(y)
+        na = _chunks(neigh, tile.side)
+        for a_node, chunk in zip(tile.rows, na):
+            outboxes[y].append((a_node, (y, chunk), max(1, len(chunk))))
+    inboxes = clique.send(outboxes, phase="c4/stepA", expect_max_pair=_CHUNK)
+
+    # Step B: a forwards NA(y, a) to every b in B(y).  Tile disjointness
+    # guarantees <= one (y, chunk) per ordered pair (a, b).
+    outboxes = [[] for _ in range(clique.n)]
+    for a_node in range(clique.n):
+        for _src, (y, chunk) in inboxes[a_node]:
+            tile = tile_of[y]
+            for b_node in tile.cols:
+                outboxes[a_node].append((b_node, (y, chunk), max(1, len(chunk) + 1)))
+    inboxes = clique.send(outboxes, phase="c4/stepB", expect_max_pair=_CHUNK + 1)
+
+    # Node b reassembles N(y) per tile column and forms its walk bundle
+    # W(b) = union over y of N(y) x {y} x NB(y, b).
+    walks_by_b: list[list[tuple[int, int, int]]] = [[] for _ in range(clique.n)]
+    for b_node in range(clique.n):
+        per_y: dict[int, list[np.ndarray]] = {}
+        for _src, (y, chunk) in inboxes[b_node]:
+            per_y.setdefault(y, []).append(chunk)
+        for y, pieces in per_y.items():
+            neigh = np.concatenate([p for p in pieces if len(p)]) if pieces else []
+            tile = tile_of[y]
+            nb = _chunks(np.asarray(neigh, dtype=np.int64), tile.side)
+            b_index = b_node - tile.col_start
+            z_part = nb[b_index]
+            for x in neigh:
+                for z in z_part:
+                    walks_by_b[b_node].append((int(x), y, int(z)))
+
+    # Route every 2-walk (x, y, z) to its left endpoint x; per Lemma 13 the
+    # send load is O(n) and (post-pigeonhole) the receive load is < 2n.
+    outboxes = [
+        [(x, (y, z), 1) for (x, y, z) in walks_by_b[b]] for b in range(clique.n)
+    ]
+    inboxes = clique.route(
+        outboxes, phase="c4/gather-walks", expect_max_load=64 * clique.n
+    )
+    found = []
+    for x in range(clique.n):
+        endpoints: set[int] = set()
+        hit = False
+        for _src, (y, z) in inboxes[x]:
+            if z == x:
+                continue
+            if z in endpoints:
+                hit = True
+                break
+            endpoints.add(z)
+        found.append(hit)
+    verdict = or_broadcast(clique, found, phase="c4/verdict")
+    return RunResult(
+        value=verdict,
+        rounds=clique.rounds,
+        clique_size=clique.n,
+        meter=clique.meter,
+        extras={"phase": "tiling", "tiles": len(tiles)},
+    )
+
+
+__all__ = ["detect_four_cycles", "build_tiling", "tile_side", "Tile"]

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+def random_demand(
+    rng: np.random.Generator, n: int, max_messages: int = 30, max_width: int = 4
+) -> dict[tuple[int, int], int]:
+    """A random routed-exchange demand for scheduling tests."""
+    demand: dict[tuple[int, int], int] = {}
+    for u in range(n):
+        for _ in range(int(rng.integers(0, max_messages))):
+            v = int(rng.integers(0, n))
+            if u == v:
+                continue
+            demand[(u, v)] = demand.get((u, v), 0) + int(rng.integers(1, max_width + 1))
+    return demand

@@ -1,0 +1,86 @@
+"""Unit tests for the cost meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clique.accounting import CostMeter, PhaseCost
+
+
+def _cost(phase: str, rounds: int, words: int = 0) -> PhaseCost:
+    return PhaseCost(
+        phase=phase,
+        primitive="route",
+        rounds=rounds,
+        words=words,
+        payloads=1,
+        max_send_words=words,
+        max_recv_words=words,
+    )
+
+
+class TestCostMeter:
+    def test_empty_meter_is_zero(self):
+        meter = CostMeter()
+        assert meter.rounds == 0
+        assert meter.words == 0
+        assert meter.payloads == 0
+        assert meter.max_node_load == 0
+
+    def test_rounds_accumulate(self):
+        meter = CostMeter()
+        meter.charge(_cost("a", 3))
+        meter.charge(_cost("b", 4))
+        assert meter.rounds == 7
+
+    def test_words_accumulate(self):
+        meter = CostMeter()
+        meter.charge(_cost("a", 1, words=10))
+        meter.charge(_cost("b", 1, words=5))
+        assert meter.words == 15
+
+    def test_negative_rounds_rejected(self):
+        meter = CostMeter()
+        with pytest.raises(ValueError):
+            meter.charge(_cost("bad", -1))
+
+    def test_snapshot_and_since(self):
+        meter = CostMeter()
+        meter.charge(_cost("a", 2))
+        mark = meter.snapshot()
+        meter.charge(_cost("b", 5, words=7))
+        assert meter.rounds_since(mark) == 5
+        assert meter.words_since(mark) == 7
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.charge(_cost("a", 2))
+        meter.reset()
+        assert meter.rounds == 0
+        assert not meter.phases
+
+    def test_by_phase_prefix_groups(self):
+        meter = CostMeter()
+        meter.charge(_cost("matmul/step1", 2))
+        meter.charge(_cost("matmul/step3", 3))
+        meter.charge(_cost("other", 1))
+        grouped = meter.by_phase_prefix()
+        assert grouped == {"matmul": 5, "other": 1}
+
+    def test_report_contains_totals(self):
+        meter = CostMeter()
+        meter.charge(_cost("phase-x", 2, words=8))
+        report = meter.report()
+        assert "phase-x" in report
+        assert "TOTAL" in report
+
+    def test_max_node_load(self):
+        meter = CostMeter()
+        meter.charge(_cost("a", 1, words=10))
+        meter.charge(_cost("b", 1, words=3))
+        assert meter.max_node_load == 10
+
+    def test_phase_cost_is_frozen(self):
+        cost = _cost("a", 1)
+        with pytest.raises(AttributeError):
+            cost.rounds = 5  # type: ignore[misc]

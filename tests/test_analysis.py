@@ -1,0 +1,111 @@
+"""Tests for the analysis layer: Table 1 harness plumbing and lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    LowerBoundCheck,
+    ProblemReport,
+    check_meter_against_floor,
+    format_table1,
+    rounds_floor_from_words,
+    semiring_words_floor,
+    strassen_like_words_floor,
+)
+from repro.analysis.table1 import run_table1
+from repro.clique.accounting import CostMeter, PhaseCost
+
+
+class TestLowerBounds:
+    def test_semiring_floor_scaling(self):
+        # n^2 / n^{2/3} = n^{4/3}; floating-point cube roots may round up.
+        assert semiring_words_floor(64) in (256, 257)
+        assert semiring_words_floor(1000) > semiring_words_floor(100)
+
+    def test_strassen_floor_below_semiring(self):
+        import math
+
+        n = 10**6
+        assert strassen_like_words_floor(n, math.log2(7)) < semiring_words_floor(n)
+
+    def test_rounds_floor(self):
+        assert rounds_floor_from_words(100, 11) == 10
+
+    def test_check_uses_meter_maxima(self):
+        meter = CostMeter()
+        meter.charge(
+            PhaseCost(
+                phase="a",
+                primitive="route",
+                rounds=2,
+                words=100,
+                payloads=1,
+                max_send_words=60,
+                max_recv_words=40,
+            )
+        )
+        check = check_meter_against_floor("x", meter, floor_words=50)
+        assert check.measured_max_node_words == 60
+        assert check.satisfied
+        assert check.overhead == pytest.approx(1.2)
+
+    def test_unsatisfied_check(self):
+        check = LowerBoundCheck("x", floor_words=100, measured_max_node_words=10)
+        assert not check.satisfied
+
+    def test_measured_semiring_run_sits_above_floor(self, rng):
+        import numpy as np
+
+        from repro.clique import CongestedClique
+        from repro.matmul.semiring3d import semiring_matmul
+
+        n = 64
+        s = rng.integers(0, 2, (n, n), dtype=np.int64)
+        clique = CongestedClique(n)
+        semiring_matmul(clique, s, s)
+        check = check_meter_against_floor(
+            "semiring3d", clique.meter, semiring_words_floor(n)
+        )
+        assert check.satisfied
+        # Theorem 1 is an essentially optimal implementation: within a small
+        # constant of the Corollary 22 floor.
+        assert check.overhead < 16
+
+
+class TestTable1Formatting:
+    def _sample_report(self) -> ProblemReport:
+        return ProblemReport(
+            problem="sample",
+            sizes=[16, 64],
+            rounds=[4, 8],
+            paper_bound="O(n^{1/3})",
+            prior_bound="O(n)",
+            prior_rounds=[16, 64],
+            notes="synthetic",
+        )
+
+    def test_fitted_exponents(self):
+        rep = self._sample_report()
+        assert rep.fitted_exponent == pytest.approx(0.5)
+        assert rep.prior_fitted_exponent == pytest.approx(1.0)
+
+    def test_format_contains_all_fields(self):
+        text = format_table1([self._sample_report()])
+        for token in ("sample", "O(n^{1/3})", "fitted exp", "speedup", "synthetic"):
+            assert token in text
+
+    def test_no_prior_rounds(self):
+        rep = ProblemReport(
+            problem="p",
+            sizes=[4, 8],
+            rounds=[2, 2],
+            paper_bound="O(1)",
+            prior_bound="--",
+        )
+        assert rep.prior_fitted_exponent is None
+        assert "prior rounds" not in format_table1([rep])
+
+    def test_run_table1_validates_scale(self):
+        with pytest.raises(ValueError):
+            run_table1(scale="huge")

@@ -1,0 +1,205 @@
+"""Tests for the APSP family (Corollaries 6-8, Theorem 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import INF
+from repro.distances import (
+    apsp_approx,
+    apsp_bounded,
+    apsp_exact,
+    apsp_small_diameter,
+    apsp_unweighted,
+    reachability,
+)
+from repro.errors import NegativeCycleError
+from repro.graphs import (
+    Graph,
+    apsp_reference,
+    bfs_distances_reference,
+    gnp_random_graph,
+    grid_graph,
+    random_weighted_digraph,
+    random_weighted_graph,
+    validate_routing_table,
+)
+from repro.runtime import make_clique, pad_matrix
+
+
+class TestExactApsp:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_digraphs(self, seed):
+        g = random_weighted_digraph(16, 0.3, 9, seed=seed)
+        result = apsp_exact(g, with_routing_tables=False)
+        assert np.array_equal(result.value, apsp_reference(g))
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_routing_tables_walk_correctly(self, seed):
+        g = random_weighted_digraph(14, 0.35, 9, seed=seed)
+        result = apsp_exact(g)
+        assert np.array_equal(result.value, apsp_reference(g))
+        assert validate_routing_table(g, result.value, result.extras["next_hop"])
+
+    def test_undirected_weighted(self):
+        g = random_weighted_graph(15, 0.4, 20, seed=2)
+        result = apsp_exact(g)
+        assert np.array_equal(result.value, apsp_reference(g))
+
+    def test_negative_weights_no_cycle(self):
+        g = Graph.from_weighted_edges(
+            4, [(0, 1, 5), (1, 2, -2), (2, 3, 4), (0, 3, 10)], directed=True
+        )
+        result = apsp_exact(g)
+        assert np.array_equal(result.value, apsp_reference(g))
+        assert result.value[0, 3] == 7
+
+    def test_negative_cycle_raises(self):
+        g = Graph.from_weighted_edges(
+            3, [(0, 1, 1), (1, 2, -5), (2, 0, 1)], directed=True
+        )
+        with pytest.raises(NegativeCycleError):
+            apsp_exact(g)
+
+    def test_disconnected_pairs_infinite(self):
+        g = Graph.from_weighted_edges(4, [(0, 1, 3)], directed=True)
+        result = apsp_exact(g, with_routing_tables=False)
+        assert result.value[0, 1] == 3
+        assert result.value[1, 0] >= INF
+        assert result.value[2, 3] >= INF
+
+    def test_grid_workload(self):
+        g = grid_graph(3, 4, max_weight=9, seed=1)
+        result = apsp_exact(g)
+        assert np.array_equal(result.value, apsp_reference(g))
+        assert validate_routing_table(g, result.value, result.extras["next_hop"])
+
+
+class TestSeidel:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.1, max_value=0.6),
+    )
+    def test_random_graphs(self, seed, p):
+        g = gnp_random_graph(18, p, seed=seed)
+        result = apsp_unweighted(g)
+        assert np.array_equal(result.value, bfs_distances_reference(g))
+
+    def test_disconnected_graph(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        result = apsp_unweighted(g)
+        ref = bfs_distances_reference(g)
+        assert np.array_equal(result.value, ref)
+        assert result.value[0, 3] >= INF
+
+    def test_path_graph_deep_recursion(self):
+        n = 17
+        g = Graph.from_edges(n, [(v, v + 1) for v in range(n - 1)])
+        result = apsp_unweighted(g)
+        assert np.array_equal(result.value, bfs_distances_reference(g))
+        assert result.extras["levels"] >= 4  # diameter 16 -> ~log2 levels
+
+    def test_complete_graph_one_level(self):
+        n = 9
+        g = Graph.from_edges(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+        result = apsp_unweighted(g)
+        assert result.extras["levels"] == 1
+
+    def test_directed_rejected(self):
+        g = gnp_random_graph(8, 0.3, seed=0, directed=True)
+        with pytest.raises(ValueError):
+            apsp_unweighted(g)
+
+
+class TestBoundedApsp:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_cap_semantics(self, seed, cap):
+        g = random_weighted_digraph(14, 0.4, 4, seed=seed)
+        result = apsp_bounded(g, cap)
+        ref = apsp_reference(g)
+        want = np.where(ref <= cap, ref, INF)
+        assert np.array_equal(result.value, want)
+
+    def test_rejects_nonpositive_weights(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, 0)], directed=True)
+        with pytest.raises(ValueError):
+            apsp_bounded(g, 5)
+
+    def test_rejects_bad_cap(self):
+        g = random_weighted_digraph(9, 0.4, 3, seed=1)
+        clique = make_clique(g.n, "bilinear")
+        from repro.distances.bounded import apsp_up_to
+
+        with pytest.raises(ValueError):
+            apsp_up_to(clique, pad_matrix(g.weight_matrix(), clique.n, fill=INF), 0)
+
+
+class TestSmallDiameterApsp:
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_exact_with_unknown_diameter(self, seed):
+        g = random_weighted_digraph(14, 0.5, 3, seed=seed)
+        result = apsp_small_diameter(g)
+        assert np.array_equal(result.value, apsp_reference(g))
+
+    def test_guess_close_to_diameter(self):
+        g = random_weighted_digraph(16, 0.6, 3, seed=9)
+        result = apsp_small_diameter(g)
+        ref = apsp_reference(g)
+        diameter = int(ref[ref < INF].max())
+        guess = result.extras["diameter_guess"]
+        assert guess >= diameter
+        assert guess < 2 * max(1, diameter) + 2
+
+    def test_reachability_matrix(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2)], directed=True)
+        clique = make_clique(g.n, "bilinear")
+        reach = reachability(clique, pad_matrix(g.adjacency, clique.n))
+        assert reach[0, 2] == 1
+        assert reach[2, 0] == 0
+        assert reach[3, 3] == 1
+
+
+class TestApproxApsp:
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_ratio_bound_holds(self, seed):
+        g = random_weighted_digraph(14, 0.4, 30, seed=seed)
+        result = apsp_approx(g, delta=0.25)
+        ref = apsp_reference(g)
+        finite = ref < INF
+        assert np.array_equal(result.value >= INF, ~finite)
+        assert (result.value[finite] >= ref[finite]).all()
+        ratios = result.value[finite] / np.maximum(ref[finite], 1)
+        assert ratios.max() <= result.extras["ratio_bound"] + 1e-9
+
+    def test_tighter_delta_costs_more(self):
+        g = random_weighted_digraph(16, 0.4, 20, seed=3)
+        loose = apsp_approx(g, delta=0.5)
+        tight = apsp_approx(g, delta=0.2)
+        assert tight.rounds > loose.rounds
+        assert tight.extras["ratio_bound"] < loose.extras["ratio_bound"]
+
+    def test_zero_weights_allowed(self):
+        g = Graph.from_weighted_edges(
+            4, [(0, 1, 0), (1, 2, 5), (2, 3, 0)], directed=True
+        )
+        result = apsp_approx(g, delta=0.25)
+        ref = apsp_reference(g)
+        finite = ref < INF
+        assert (result.value[finite] >= ref[finite]).all()
+
+    def test_negative_weights_rejected(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, -2)], directed=True)
+        with pytest.raises(ValueError):
+            apsp_approx(g)

@@ -1,0 +1,79 @@
+"""Tests for the broadcast congested clique (paper §4, Corollary 24)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clique.broadcast_clique import (
+    BroadcastCongestedClique,
+    broadcast_clique_matmul,
+    broadcast_matmul_round_floor,
+)
+from repro.errors import CliqueModelError
+
+
+class TestModel:
+    def test_needs_two_nodes(self):
+        with pytest.raises(CliqueModelError):
+            BroadcastCongestedClique(1)
+
+    def test_broadcast_rounds_follow_max_width(self):
+        clique = BroadcastCongestedClique(4)
+        clique.broadcast(["a", "b", "c", "d"], words=[1, 3, 1, 1])
+        assert clique.rounds == 3
+
+    def test_all_nodes_receive_everything(self):
+        clique = BroadcastCongestedClique(5)
+        received = clique.broadcast(list(range(5)))
+        for u in range(5):
+            assert received[u] == [0, 1, 2, 3, 4]
+
+    def test_wrong_payload_count(self):
+        clique = BroadcastCongestedClique(3)
+        with pytest.raises(CliqueModelError):
+            clique.broadcast([1, 2])
+
+    def test_no_unicast_primitives(self):
+        clique = BroadcastCongestedClique(4)
+        assert not hasattr(clique, "send")
+        assert not hasattr(clique, "route")
+
+
+class TestBroadcastMatmul:
+    def test_correct(self, rng):
+        n = 12
+        s = rng.integers(-9, 10, (n, n), dtype=np.int64)
+        t = rng.integers(-9, 10, (n, n), dtype=np.int64)
+        clique = BroadcastCongestedClique(n)
+        assert np.array_equal(broadcast_clique_matmul(clique, s, t), s @ t)
+
+    def test_rounds_are_linear_in_n(self, rng):
+        rounds = []
+        for n in (8, 16, 32):
+            s = rng.integers(0, 2, (n, n), dtype=np.int64)
+            clique = BroadcastCongestedClique(n)
+            broadcast_clique_matmul(clique, s, s)
+            rounds.append(clique.rounds)
+        assert rounds == [16, 32, 64]  # 2 rows (S and T) of n words each
+
+    def test_corollary24_floor_respected(self, rng):
+        # The separation: broadcast matmul pays >= Omega(n) while the
+        # unicast engines pay O(n^{1/3}) on the same input.
+        from repro.clique import CongestedClique
+        from repro.matmul.semiring3d import semiring_matmul
+
+        n = 64
+        s = rng.integers(0, 2, (n, n), dtype=np.int64)
+        bc = BroadcastCongestedClique(n)
+        broadcast_clique_matmul(bc, s, s)
+        assert bc.rounds >= broadcast_matmul_round_floor(n)
+        unicast = CongestedClique(n)
+        semiring_matmul(unicast, s, s)
+        assert unicast.rounds < bc.rounds
+
+    def test_shape_validation(self, rng):
+        clique = BroadcastCongestedClique(8)
+        bad = rng.integers(0, 2, (4, 4), dtype=np.int64)
+        with pytest.raises(ValueError):
+            broadcast_clique_matmul(clique, bad, bad)

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_matmul_defaults(self):
+        args = build_parser().parse_args(["matmul", "49"])
+        assert args.n == 49
+        assert args.engine == "bilinear"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matmul", "49", "--engine", "quantum"])
+
+
+class TestCommands:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["matmul", "16", "--engine", "bilinear"],
+            ["matmul", "20", "--engine", "semiring"],
+            ["matmul", "10", "--engine", "naive"],
+            ["triangles", "18", "--baseline"],
+            ["triangles", "18", "--engine", "semiring"],
+            ["four-cycles", "20", "--baseline"],
+            ["girth", "20", "--family", "sparse", "--girth", "6"],
+            ["girth", "14", "--family", "directed"],
+            ["apsp", "10", "--variant", "exact"],
+            ["apsp", "12", "--variant", "unweighted"],
+        ],
+    )
+    def test_commands_succeed(self, argv, capsys):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_matmul_prints_meter(self, capsys):
+        main(["matmul", "16"])
+        out = capsys.readouterr().out
+        assert "rounds" in out
+        assert "TOTAL" in out
+
+    def test_seed_changes_workload(self, capsys):
+        main(["--seed", "1", "triangles", "18"])
+        first = capsys.readouterr().out
+        main(["--seed", "2", "triangles", "18"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "girth", "16"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "girth=" in result.stdout

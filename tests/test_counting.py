@@ -1,0 +1,125 @@
+"""Tests for Corollary 2: distributed triangle/4-cycle/5-cycle counting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.model import ScheduleMode
+from repro.graphs import (
+    Graph,
+    bipartite_random_graph,
+    count_cycles_brute,
+    cycle_graph,
+    four_cycle_count_reference,
+    gnp_random_graph,
+    preferential_attachment_graph,
+    random_tree,
+    triangle_count_reference,
+    windmill_graph,
+)
+from repro.runtime import make_clique
+from repro.subgraphs import count_five_cycles, count_four_cycles, count_triangles
+
+
+class TestTriangles:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.sampled_from(["bilinear", "semiring", "naive"]),
+    )
+    def test_random_graphs_all_engines(self, seed, method):
+        g = gnp_random_graph(14, 0.35, seed=seed)
+        result = count_triangles(g, method=method)
+        assert result.value == triangle_count_reference(g)
+
+    def test_directed(self, rng):
+        g = gnp_random_graph(13, 0.3, seed=11, directed=True)
+        result = count_triangles(g)
+        assert result.value == triangle_count_reference(g)
+
+    def test_triangle_free(self):
+        g = bipartite_random_graph(16, 0.4, seed=0)
+        assert count_triangles(g).value == 0
+
+    def test_windmill_count(self):
+        g = windmill_graph(21)  # 10 triangles
+        assert count_triangles(g).value == 10
+
+    def test_rounds_charged(self):
+        g = gnp_random_graph(16, 0.3, seed=1)
+        result = count_triangles(g)
+        assert result.rounds > 0
+        assert result.clique_size == 16
+
+    def test_exact_schedule_mode(self):
+        g = gnp_random_graph(9, 0.4, seed=2)
+        clique = make_clique(g.n, "bilinear", mode=ScheduleMode.EXACT)
+        result = count_triangles(g, clique=clique)
+        assert result.value == triangle_count_reference(g)
+
+
+class TestFourCycles:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_graphs(self, seed):
+        g = gnp_random_graph(13, 0.3, seed=seed)
+        result = count_four_cycles(g)
+        assert result.value == four_cycle_count_reference(g)
+
+    def test_directed(self):
+        g = gnp_random_graph(12, 0.3, seed=4, directed=True)
+        result = count_four_cycles(g)
+        assert result.value == count_cycles_brute(g, 4)
+
+    def test_c4_itself(self):
+        assert count_four_cycles(cycle_graph(4)).value == 1
+
+    def test_windmill_is_c4_free(self):
+        assert count_four_cycles(windmill_graph(17)).value == 0
+
+    def test_social_network_workload(self):
+        g = preferential_attachment_graph(24, attach=3, seed=9)
+        result = count_four_cycles(g)
+        assert result.value == four_cycle_count_reference(g)
+
+    def test_semiring_engine(self):
+        g = gnp_random_graph(14, 0.3, seed=6)
+        result = count_four_cycles(g, method="semiring")
+        assert result.value == four_cycle_count_reference(g)
+
+
+class TestFiveCycles:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_graphs(self, seed):
+        g = gnp_random_graph(12, 0.3, seed=seed)
+        result = count_five_cycles(g)
+        assert result.value == count_cycles_brute(g, 5)
+
+    def test_c5_itself(self):
+        assert count_five_cycles(cycle_graph(5)).value == 1
+
+    def test_k4_has_none(self):
+        g = Graph.from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert count_five_cycles(g).value == 0
+
+    def test_tree_has_none(self):
+        assert count_five_cycles(random_tree(18, 2)).value == 0
+
+    def test_directed_rejected(self):
+        g = gnp_random_graph(8, 0.3, seed=0, directed=True)
+        with pytest.raises(ValueError):
+            count_five_cycles(g)
+
+    def test_petersen_graph(self):
+        # The Petersen graph famously has 12 five-cycles.
+        edges = [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
+            (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),
+            (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+        ]
+        g = Graph.from_edges(10, edges)
+        assert count_five_cycles(g).value == 12

@@ -1,0 +1,138 @@
+"""Tests for distance products: exact, Lemma 18 and Lemma 20."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.semirings import MIN_PLUS
+from repro.clique import CongestedClique
+from repro.constants import INF
+from repro.matmul.distance import (
+    approx_distance_product,
+    distance_product,
+    distance_product_ring,
+    scaling_levels,
+)
+
+
+def _dist_matrix(rng, n, max_entry, inf_prob=0.2):
+    mat = rng.integers(0, max_entry + 1, (n, n), dtype=np.int64)
+    mat[rng.random((n, n)) < inf_prob] = INF
+    return mat
+
+
+class TestExactProduct:
+    def test_matches_reference(self, rng):
+        n = 27
+        s = _dist_matrix(rng, n, 30)
+        t = _dist_matrix(rng, n, 30)
+        clique = CongestedClique(n)
+        got = distance_product(clique, s, t)
+        assert np.array_equal(got, MIN_PLUS.matmul(s, t))
+
+    def test_witnesses(self, rng):
+        n = 8
+        s = _dist_matrix(rng, n, 10)
+        t = _dist_matrix(rng, n, 10)
+        clique = CongestedClique(n)
+        product, witness = distance_product(clique, s, t, with_witnesses=True)
+        for u in range(n):
+            for v in range(n):
+                if product[u, v] < INF:
+                    k = int(witness[u, v])
+                    assert s[u, k] + t[k, v] == product[u, v]
+
+
+class TestLemma18:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_matches_reference(self, seed, max_entry):
+        rng = np.random.default_rng(seed)
+        n = 16
+        s = _dist_matrix(rng, n, max_entry)
+        t = _dist_matrix(rng, n, max_entry)
+        clique = CongestedClique(n)
+        got = distance_product_ring(clique, s, t, max_entry)
+        assert np.array_equal(got, MIN_PLUS.matmul(s, t))
+
+    def test_entries_above_bound_act_as_infinity(self, rng):
+        n = 16
+        s = np.full((n, n), 50, dtype=np.int64)  # above the bound 5
+        t = np.full((n, n), 1, dtype=np.int64)
+        clique = CongestedClique(n)
+        got = distance_product_ring(clique, s, t, 5)
+        assert np.all(got >= INF)
+
+    def test_rounds_grow_with_entry_bound(self, rng):
+        n = 16
+        s = _dist_matrix(rng, n, 2)
+        t = _dist_matrix(rng, n, 2)
+        cheap = CongestedClique(n)
+        distance_product_ring(cheap, s, t, 2)
+        expensive = CongestedClique(n)
+        distance_product_ring(expensive, s, t, 20)
+        # Lemma 18 cost is O(M n^rho): the polynomial width shows directly.
+        assert expensive.rounds > cheap.rounds
+
+    def test_negative_bound_rejected(self, rng):
+        clique = CongestedClique(16)
+        mat = np.zeros((16, 16), dtype=np.int64)
+        with pytest.raises(ValueError):
+            distance_product_ring(clique, mat, mat, -1)
+
+
+class TestScalingLevels:
+    def test_small_bounds(self):
+        assert scaling_levels(0, 0.25) == 1
+        assert scaling_levels(1, 0.25) == 1
+
+    def test_growth(self):
+        assert scaling_levels(100, 0.25) > scaling_levels(10, 0.25)
+
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            scaling_levels(10, 0.0)
+
+
+class TestLemma20:
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_approximation_guarantee(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 16
+        delta = 0.3
+        s = _dist_matrix(rng, n, 150)
+        t = _dist_matrix(rng, n, 150)
+        clique = CongestedClique(n)
+        approx = approx_distance_product(clique, s, t, delta)
+        exact = MIN_PLUS.matmul(s, t)
+        finite = exact < INF
+        assert np.array_equal(approx >= INF, ~finite)
+        assert (approx[finite] >= exact[finite]).all()
+        # Lemma 20: P <= P~ <= (1 + delta) P (integer floor slack included).
+        assert (
+            approx[finite] <= np.floor((1 + delta) * exact[finite]) + 1
+        ).all()
+
+    def test_smaller_delta_costs_more_rounds(self, rng):
+        n = 16
+        s = _dist_matrix(rng, n, 60)
+        t = _dist_matrix(rng, n, 60)
+        loose = CongestedClique(n)
+        approx_distance_product(loose, s, t, 0.5)
+        tight = CongestedClique(n)
+        approx_distance_product(tight, s, t, 0.15)
+        assert tight.rounds > loose.rounds
+
+    def test_exact_for_zero_matrices(self, rng):
+        n = 16
+        zeros = np.zeros((n, n), dtype=np.int64)
+        clique = CongestedClique(n)
+        approx = approx_distance_product(clique, zeros, zeros, 0.25)
+        assert np.array_equal(approx, zeros)

@@ -1,0 +1,145 @@
+"""Edge-case and failure-path tests across the stack.
+
+The long tail: degenerate graphs (empty, complete, two nodes), fallback
+branches (girth's dense-branch miss), width extremes, and the error
+surfaces a downstream user can hit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra.semirings import MIN_PLUS
+from repro.clique import CongestedClique
+from repro.constants import INF
+from repro.distances import (
+    apsp_exact,
+    apsp_unweighted,
+    girth_undirected,
+)
+from repro.graphs import Graph, girth_reference, gnp_random_graph
+from repro.matmul.semiring3d import semiring_matmul
+from repro.subgraphs import (
+    count_four_cycles,
+    count_triangles,
+    detect_four_cycles,
+)
+
+
+def _empty_graph(n: int) -> Graph:
+    return Graph(n=n, adjacency=np.zeros((n, n), dtype=np.int64))
+
+
+def _complete_graph(n: int) -> Graph:
+    adj = np.ones((n, n), dtype=np.int64)
+    np.fill_diagonal(adj, 0)
+    return Graph(n=n, adjacency=adj)
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph_counts(self):
+        g = _empty_graph(9)
+        assert count_triangles(g).value == 0
+        assert count_four_cycles(g).value == 0
+        assert not detect_four_cycles(g).value
+
+    def test_complete_graph_counts(self):
+        import math
+
+        n = 10
+        g = _complete_graph(n)
+        assert count_triangles(g).value == math.comb(n, 3)
+        assert count_four_cycles(g).value == 3 * math.comb(n, 4)
+        assert detect_four_cycles(g).value
+
+    def test_two_node_graph(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert count_triangles(g).value == 0
+        assert not detect_four_cycles(g).value
+        result = apsp_unweighted(g)
+        assert result.value[0, 1] == 1
+
+    def test_single_edge_apsp(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, 7)], directed=True)
+        result = apsp_exact(g)
+        assert result.value[0, 1] == 7
+        assert result.value[1, 0] >= INF
+
+    def test_empty_graph_apsp(self):
+        g = _empty_graph(5)
+        result = apsp_unweighted(g)
+        off = ~np.eye(5, dtype=bool)
+        assert (result.value[off] >= INF).all()
+
+    def test_empty_graph_girth(self):
+        assert girth_undirected(_empty_graph(8)).value >= INF
+
+    def test_complete_graph_girth(self):
+        result = girth_undirected(_complete_graph(9))
+        assert result.value == 3
+
+
+class TestGirthFallback:
+    def test_dense_branch_miss_falls_back_to_learning(self):
+        # Zero detection trials guarantee every colour-coding pass misses;
+        # the algorithm must still return the exact girth via the fallback.
+        # p = 0.85 pushes m above the cutoff-4 edge threshold (n^{3/2} + n).
+        g = gnp_random_graph(16, 0.85, seed=2)
+        result = girth_undirected(
+            g, cutoff=4, trials_per_k=0, rng=np.random.default_rng(0)
+        )
+        assert result.value == girth_reference(g)
+        assert result.extras["branch"] == "dense-fallback"
+
+
+class TestWidthExtremes:
+    def test_huge_entries_cost_more_rounds(self, rng):
+        n = 8
+        small = rng.integers(0, 2, (n, n), dtype=np.int64)
+        big = small * (2**55)
+        cheap = CongestedClique(n)
+        semiring_matmul(cheap, small, small)
+        wide = CongestedClique(n)
+        semiring_matmul(wide, big, small)
+        assert wide.rounds > cheap.rounds
+
+    def test_minplus_all_inf(self):
+        n = 8
+        mat = np.full((n, n), INF, dtype=np.int64)
+        clique = CongestedClique(n)
+        product = semiring_matmul(clique, mat, mat, MIN_PLUS)
+        assert (product >= INF).all()
+
+    def test_custom_word_bits_change_costs(self, rng):
+        n = 8
+        mat = rng.integers(0, 2**30, (n, n), dtype=np.int64)
+        narrow = CongestedClique(n, word_bits=16)
+        semiring_matmul(narrow, mat, mat)
+        wide_words = CongestedClique(n, word_bits=64)
+        semiring_matmul(wide_words, mat, mat)
+        assert wide_words.rounds < narrow.rounds
+
+
+class TestSelfConsistency:
+    def test_triangle_count_invariant_under_relabelling(self, rng):
+        g = gnp_random_graph(12, 0.35, seed=9)
+        perm = rng.permutation(12)
+        relabelled = Graph(
+            n=12, adjacency=g.adjacency[np.ix_(perm, perm)], directed=False
+        )
+        assert count_triangles(g).value == count_triangles(relabelled).value
+
+    def test_apsp_symmetric_for_undirected(self, rng):
+        from repro.graphs import random_weighted_graph
+
+        g = random_weighted_graph(12, 0.4, 9, seed=3)
+        result = apsp_exact(g, with_routing_tables=False)
+        assert np.array_equal(result.value, result.value.T)
+
+    def test_detection_consistent_with_counting(self, rng):
+        for seed in range(4):
+            g = gnp_random_graph(15, 0.18, seed=seed)
+            detected = detect_four_cycles(g).value
+            counted = count_four_cycles(g).value
+            assert detected == (counted > 0)

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs end to end at a small scale."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["27"]),
+    ("social_network_triangles.py", ["36"]),
+    ("road_network_apsp.py", ["3", "4"]),
+    ("girth_and_cycles.py", ["25"]),
+    ("scaling_study.py", ["--small"]),
+    ("bottleneck_routing.py", ["16"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples should print their findings"
+
+
+def test_quickstart_reports_round_counts():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "27"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "rounds" in result.stdout
+    assert "TOTAL" in result.stdout  # the per-phase meter report

@@ -1,0 +1,118 @@
+"""Unit tests for word-size arithmetic and outbox validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clique.messages import (
+    default_word_bits,
+    int_bits,
+    validate_outboxes,
+    words_for_array,
+    words_for_value,
+)
+
+
+class TestWordBits:
+    def test_minimum_is_16(self):
+        assert default_word_bits(2) == 16
+        assert default_word_bits(100) == 16
+
+    def test_grows_with_log_n(self):
+        assert default_word_bits(2**10) == 20
+        assert default_word_bits(2**20) == 40
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            default_word_bits(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_word_always_fits_two_node_ids(self, n):
+        import math
+
+        bits = default_word_bits(n)
+        id_bits = max(1, math.ceil(math.log2(max(2, n))))
+        assert bits >= 2 * id_bits
+
+
+class TestIntBits:
+    def test_small_values(self):
+        assert int_bits(0) == 2  # sign + 1 magnitude bit
+        assert int_bits(1) == 2
+        assert int_bits(255) == 9
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_bits(-1)
+
+    @given(st.integers(min_value=0, max_value=2**60))
+    def test_monotone(self, x):
+        assert int_bits(x + 1) >= int_bits(x)
+
+
+class TestWordsForValue:
+    def test_unit_width_small_values(self):
+        assert words_for_value(100, 16) == 1
+
+    def test_wide_values_need_more_words(self):
+        assert words_for_value(2**40, 16) == 3  # 42 bits / 16
+
+    @given(
+        st.integers(min_value=0, max_value=2**62 - 1),
+        st.integers(min_value=8, max_value=64),
+    )
+    def test_width_covers_encoding(self, value, word_bits):
+        words = words_for_value(value, word_bits)
+        assert words * word_bits >= int_bits(value)
+
+
+class TestWordsForArray:
+    def test_empty_array_is_free(self):
+        assert words_for_array(np.array([], dtype=np.int64), 16) == 0
+
+    def test_unit_entries(self):
+        arr = np.ones(10, dtype=np.int64)
+        assert words_for_array(arr, 16) == 10
+
+    def test_wide_entries_charged_per_entry(self):
+        arr = np.full(4, 2**40, dtype=np.int64)
+        assert words_for_array(arr, 16) == 12
+
+    def test_bool_arrays(self):
+        arr = np.ones(6, dtype=bool)
+        assert words_for_array(arr, 16) == 6
+
+    def test_width_uses_max_abs(self):
+        arr = np.array([1, -(2**40)], dtype=np.int64)
+        assert words_for_array(arr, 16) == 2 * 3
+
+
+class TestValidateOutboxes:
+    def test_valid(self):
+        validate_outboxes([[(1, "x", 1)], []], n=2)
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            validate_outboxes([[]], n=2)
+
+    def test_destination_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_outboxes([[(5, "x", 1)], []], n=2)
+
+    def test_self_message_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            validate_outboxes([[(0, "x", 1)], []], n=2)
+
+    def test_self_message_allowed_when_opted_in(self):
+        validate_outboxes([[(0, "x", 1)], []], n=2, allow_self=True)
+
+    def test_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            validate_outboxes([[(1, "x", 0)], []], n=2)
+
+    def test_malformed_item(self):
+        with pytest.raises(ValueError):
+            validate_outboxes([[(1, "x")], []], n=2)  # type: ignore[list-item]

@@ -1,0 +1,183 @@
+"""Tests for the CongestedClique simulator primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique import CongestedClique, ScheduleMode
+from repro.errors import CliqueModelError, LoadBoundExceededError
+
+
+class TestConstruction:
+    def test_needs_two_nodes(self):
+        with pytest.raises(CliqueModelError):
+            CongestedClique(1)
+
+    def test_default_word_bits(self):
+        assert CongestedClique(64).word_bits == 16
+
+    def test_custom_word_bits(self):
+        assert CongestedClique(8, word_bits=32).word_bits == 32
+
+    def test_bad_word_bits(self):
+        with pytest.raises(CliqueModelError):
+            CongestedClique(8, word_bits=0)
+
+
+class TestBroadcast:
+    def test_one_round_for_unit_payloads(self):
+        clique = CongestedClique(5)
+        received = clique.broadcast(list(range(5)))
+        assert clique.rounds == 1
+        assert received[2] == [0, 1, 2, 3, 4]
+
+    def test_rounds_follow_max_width(self):
+        clique = CongestedClique(4)
+        clique.broadcast(["a", "b", "c", "d"], words=[1, 7, 2, 1])
+        assert clique.rounds == 7
+
+    def test_wrong_payload_count(self):
+        clique = CongestedClique(4)
+        with pytest.raises(CliqueModelError):
+            clique.broadcast([1, 2])
+
+    def test_wrong_width_count(self):
+        clique = CongestedClique(4)
+        with pytest.raises(CliqueModelError):
+            clique.broadcast([1, 2, 3, 4], words=[1, 2])
+
+    def test_negative_width(self):
+        clique = CongestedClique(3)
+        with pytest.raises(CliqueModelError):
+            clique.broadcast([1, 2, 3], words=[-1, 1, 1])
+
+    def test_every_node_sees_same_order(self):
+        clique = CongestedClique(6)
+        received = clique.broadcast([f"p{v}" for v in range(6)])
+        for u in range(6):
+            assert received[u] == [f"p{v}" for v in range(6)]
+
+
+class TestSend:
+    def test_transposes_in_one_round(self):
+        clique = CongestedClique(4)
+        cols = clique.transpose([[10 * v + u for u in range(4)] for v in range(4)])
+        assert clique.rounds == 1
+        assert cols[1][3] == 31
+
+    def test_rounds_equal_max_pair_traffic(self):
+        clique = CongestedClique(4)
+        clique.send([[(1, "a", 3), (1, "b", 2)], [], [], []])
+        assert clique.rounds == 5  # 5 words over the (0, 1) link
+
+    def test_self_messages_free(self):
+        clique = CongestedClique(3)
+        inboxes = clique.send([[(0, "self", 100)], [], []])
+        assert clique.rounds == 0
+        assert inboxes[0] == [(0, "self")]
+
+    def test_expect_max_pair_enforced(self):
+        clique = CongestedClique(3)
+        with pytest.raises(LoadBoundExceededError):
+            clique.send([[(1, "x", 9)], [], []], expect_max_pair=8)
+
+    def test_bad_destination(self):
+        clique = CongestedClique(3)
+        with pytest.raises(CliqueModelError):
+            clique.send([[(7, "x", 1)], [], []])
+
+    def test_inboxes_sorted_by_source(self):
+        clique = CongestedClique(4)
+        inboxes = clique.send(
+            [[(3, "from0", 1)], [(3, "from1", 1)], [(3, "from2", 1)], []]
+        )
+        assert [src for src, _ in inboxes[3]] == [0, 1, 2]
+
+
+class TestRoute:
+    def test_balanced_load_costs_two_rounds(self):
+        n = 8
+        clique = CongestedClique(n)
+        outboxes = [[((v + 1) % n, "x", 1)] for v in range(n)]
+        clique.route(outboxes)
+        assert clique.rounds == 2
+
+    def test_rounds_scale_with_load(self):
+        n = 8
+        clique = CongestedClique(n)
+        # Node 0 receives 4n words -> 2 * ceil(4n/n) = 8 rounds.
+        outboxes = [[] for _ in range(n)]
+        for v in range(1, n):
+            outboxes[v].append((0, "x", 32 // (n - 1) + 1))
+        clique.route(outboxes)
+        assert clique.rounds == 2 * ((max(32 // (n - 1) + 1, 0) * (n - 1) + n - 1) // n)
+
+    def test_expect_max_load_enforced(self):
+        clique = CongestedClique(4)
+        with pytest.raises(LoadBoundExceededError):
+            clique.route([[(1, "x", 100)], [], [], []], expect_max_load=50)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_exact_mode_delivers_identically(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 7
+        outboxes = [[] for _ in range(n)]
+        for v in range(n):
+            for _ in range(int(rng.integers(0, 12))):
+                outboxes[v].append(
+                    (int(rng.integers(0, n)), (v, int(rng.integers(100))), 1)
+                )
+        fast = CongestedClique(n, mode=ScheduleMode.FAST)
+        exact = CongestedClique(n, mode=ScheduleMode.EXACT)
+        got_fast = fast.route([list(b) for b in outboxes])
+        got_exact = exact.route([list(b) for b in outboxes])
+        assert got_fast == got_exact
+        assert exact.rounds <= 2 * fast.rounds + 2
+
+    def test_empty_route_is_free(self):
+        clique = CongestedClique(4)
+        clique.route([[], [], [], []])
+        assert clique.rounds == 0
+
+
+class TestAllgather:
+    def test_replicates_all_records(self):
+        clique = CongestedClique(5)
+        records = [[(v, i) for i in range(v + 1)] for v in range(5)]
+        combined = clique.allgather_records(records)
+        assert sorted(combined) == sorted(
+            (v, i) for v in range(5) for i in range(v + 1)
+        )
+
+    def test_rounds_scale_with_volume(self):
+        n = 8
+        small = CongestedClique(n)
+        small.allgather_records([[1]] * n)
+        big = CongestedClique(n)
+        big.allgather_records([[1] * 10] * n)
+        assert big.rounds > small.rounds
+
+    def test_empty(self):
+        clique = CongestedClique(4)
+        assert clique.allgather_records([[], [], [], []]) == []
+
+    def test_wrong_shape(self):
+        clique = CongestedClique(4)
+        with pytest.raises(CliqueModelError):
+            clique.allgather_records([[], []])
+
+
+class TestTranspose:
+    def test_shape_validation(self):
+        clique = CongestedClique(3)
+        with pytest.raises(CliqueModelError):
+            clique.transpose([[1, 2], [3, 4]])
+
+    def test_wide_entries_cost_more(self):
+        clique = CongestedClique(3)
+        clique.transpose(np.ones((3, 3), dtype=np.int64), words_per_entry=4)
+        assert clique.rounds == 4

@@ -1,0 +1,91 @@
+"""Tests for the naive baseline matmul and ring-op width accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra.semirings import MIN_PLUS, PLUS_TIMES
+from repro.clique import CongestedClique
+from repro.constants import INF
+from repro.matmul.naive import broadcast_matmul
+from repro.matmul.ringops import INTEGER_RING, POLYNOMIAL_RING
+
+
+class TestNaiveMatmul:
+    def test_integer_product(self, rng):
+        n = 12
+        s = rng.integers(-9, 10, (n, n), dtype=np.int64)
+        t = rng.integers(-9, 10, (n, n), dtype=np.int64)
+        clique = CongestedClique(n)
+        assert np.array_equal(broadcast_matmul(clique, s, t), s @ t)
+
+    def test_rounds_are_linear(self, rng):
+        rounds = []
+        for n in (8, 16, 32):
+            s = rng.integers(0, 2, (n, n), dtype=np.int64)
+            clique = CongestedClique(n)
+            broadcast_matmul(clique, s, s)
+            rounds.append(clique.rounds)
+        assert rounds == [8, 16, 32]
+
+    def test_minplus_with_witnesses(self, rng):
+        n = 10
+        s = rng.integers(0, 20, (n, n), dtype=np.int64)
+        t = rng.integers(0, 20, (n, n), dtype=np.int64)
+        clique = CongestedClique(n)
+        product, witness = broadcast_matmul(
+            clique, s, t, MIN_PLUS, with_witnesses=True
+        )
+        assert np.array_equal(product, MIN_PLUS.matmul(s, t))
+        for u in range(n):
+            for v in range(n):
+                k = int(witness[u, v])
+                assert s[u, k] + t[k, v] == product[u, v]
+
+    def test_shape_validation(self, rng):
+        clique = CongestedClique(8)
+        with pytest.raises(ValueError):
+            broadcast_matmul(
+                clique,
+                rng.integers(0, 2, (4, 4), dtype=np.int64),
+                rng.integers(0, 2, (4, 4), dtype=np.int64),
+            )
+
+    def test_semiring3d_beats_naive_at_scale(self, rng):
+        from repro.matmul.semiring3d import semiring_matmul
+
+        n = 64
+        s = rng.integers(0, 2, (n, n), dtype=np.int64)
+        fast = CongestedClique(n)
+        semiring_matmul(fast, s, s)
+        slow = CongestedClique(n)
+        broadcast_matmul(slow, s, s)
+        assert fast.rounds < slow.rounds
+
+
+class TestRingOps:
+    def test_integer_entry_words(self):
+        arr = np.array([[3, -(2**40)]], dtype=np.int64)
+        assert INTEGER_RING.entry_words(arr, 16) == 3
+        assert INTEGER_RING.array_words(arr, 16) == 6
+
+    def test_integer_matmul(self, rng):
+        a = rng.integers(-5, 6, (4, 4), dtype=np.int64)
+        b = rng.integers(-5, 6, (4, 4), dtype=np.int64)
+        assert np.array_equal(INTEGER_RING.matmul(a, b), a @ b)
+
+    def test_polynomial_entry_words_include_degree(self):
+        arr = np.ones((2, 2, 5), dtype=np.int64)
+        assert POLYNOMIAL_RING.entry_words(arr, 16) == 5
+        assert POLYNOMIAL_RING.array_words(arr, 16) == 4 * 5
+
+    def test_polynomial_matmul_is_convolution(self, rng):
+        from repro.algebra.polynomial import poly_matmul
+
+        a = rng.integers(0, 2, (3, 3, 2), dtype=np.int64)
+        b = rng.integers(0, 2, (3, 3, 3), dtype=np.int64)
+        assert np.array_equal(POLYNOMIAL_RING.matmul(a, b), poly_matmul(a, b))
+
+    def test_empty_arrays_are_free(self):
+        assert INTEGER_RING.array_words(np.zeros((0, 3), dtype=np.int64), 16) == 0

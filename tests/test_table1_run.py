@@ -1,0 +1,55 @@
+"""Integration test: the Table 1 harness runs end to end (quick scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table1, run_table1
+from repro.constants import RHO_IMPLEMENTED
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_table1(scale="quick", seed=0)
+
+
+class TestTable1Run:
+    def test_all_rows_present(self, reports):
+        problems = [r.problem for r in reports]
+        for token in (
+            "matrix multiplication (semiring)",
+            "matrix multiplication (ring)",
+            "triangle counting",
+            "4-cycle detection",
+            "4-cycle counting",
+            "5-cycle detection",
+            "girth",
+            "weighted directed APSP",
+            "diameter U=8",
+            "approx APSP",
+            "unweighted undirected APSP",
+        ):
+            assert any(token in p for p in problems), token
+
+    def test_every_row_has_measurements(self, reports):
+        for rep in reports:
+            assert len(rep.sizes) == len(rep.rounds)
+            assert all(r >= 0 for r in rep.rounds)
+
+    def test_semiring_row_exponent_exact(self, reports):
+        row = next(r for r in reports if "semiring" in r.problem)
+        assert row.fitted_exponent == pytest.approx(1 / 3, abs=0.01)
+
+    def test_four_cycle_rows_order_correctly(self, reports):
+        row = next(r for r in reports if r.problem == "4-cycle detection")
+        assert row.prior_rounds is not None
+        # Theorem 4 beats the baseline at every measured size.
+        assert all(o < p for o, p in zip(row.rounds, row.prior_rounds))
+        assert row.fitted_exponent < 0.3
+        assert row.prior_fitted_exponent > row.fitted_exponent
+
+    def test_report_formats(self, reports):
+        text = format_table1(reports)
+        assert f"{RHO_IMPLEMENTED:.5f}" in text
+        assert "fitted exp" in text
+        assert "speedup" in text
