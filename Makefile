@@ -1,0 +1,20 @@
+# Convenience lanes.  PYTHONPATH is set per target so `make test` works
+# from a clean checkout without an install.
+PY := PYTHONPATH=src python
+
+.PHONY: test test-full bench perf-report table1
+
+test:        ## fast lane (default pytest config: -m "not slow")
+	$(PY) -m pytest -q
+
+test-full:   ## full suite including slow tests
+	$(PY) -m pytest -q -m ""
+
+bench:       ## pytest-benchmark suites only
+	$(PY) -m pytest benchmarks -q -m ""
+
+perf-report: ## kernel + messaging perf report -> BENCH_matmul.json
+	$(PY) benchmarks/perf_report.py
+
+table1:      ## the consolidated measured Table 1
+	$(PY) benchmarks/table1_harness.py

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Performance report for the semiring kernel + messaging fast path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py              # full report
+    PYTHONPATH=src python benchmarks/perf_report.py --quick      # small sizes
+    PYTHONPATH=src python benchmarks/perf_report.py --out X.json
+
+Times two layers and writes ``BENCH_matmul.json``:
+
+* **Kernels** -- the blocked min-plus / max-min block-product kernels
+  (:mod:`repro.algebra.semirings`) against the seed's cube-materialising
+  kernel (retained as ``cube_matmul_with_witness``), at ``n ~ 512``.  The
+  seed implemented *both* ``matmul`` and ``matmul_with_witness`` via the
+  cube kernel, so it is the baseline for both entry points.
+* **End to end** -- the 3D semiring engine and the APSP driver on the
+  array-native messaging path, with their metered round counts, seeding the
+  perf trajectory for future PRs.
+
+Timings are best-of-``reps`` wall clock; simulated round counts are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+# Allow `python benchmarks/perf_report.py` without an explicit PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.algebra.semirings import MAX_MIN, MIN_PLUS, get_block_tile
+from repro.clique.model import CongestedClique
+from repro.constants import INF
+from repro.distances.apsp import apsp_exact
+from repro.graphs.generators import random_weighted_graph
+from repro.matmul.naive import broadcast_matmul
+from repro.matmul.semiring3d import semiring_matmul
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _distance_matrix(rng: np.random.Generator, n: int) -> np.ndarray:
+    mat = rng.integers(0, 1000, (n, n), dtype=np.int64)
+    mat[rng.random((n, n)) < 0.1] = INF
+    return mat
+
+
+def _bottleneck_matrix(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.integers(-1000, 1000, (n, n), dtype=np.int64)
+
+
+def kernel_section(n: int, reps: int) -> dict:
+    """Blocked kernels vs the seed cube kernel on one n x n block product."""
+    rng = np.random.default_rng(0)
+    section: dict[str, dict] = {}
+    for semiring, make in (
+        (MIN_PLUS, _distance_matrix),
+        (MAX_MIN, _bottleneck_matrix),
+    ):
+        x, y = make(rng, n), make(rng, n)
+        # Correctness cross-check before timing anything.
+        p_cube, w_cube = semiring.cube_matmul_with_witness(x, y)
+        p_blk, w_blk = semiring.matmul_with_witness(x, y)
+        assert np.array_equal(p_cube, p_blk), semiring.name
+        assert np.array_equal(w_cube, w_blk), semiring.name
+        assert np.array_equal(semiring.matmul(x, y), p_cube), semiring.name
+
+        cube_s = _best_of(lambda: semiring.cube_matmul_with_witness(x, y), reps)
+        plain_s = _best_of(lambda: semiring.matmul(x, y), reps)
+        witness_s = _best_of(lambda: semiring.matmul_with_witness(x, y), reps)
+        key = semiring.name.replace("-", "_")
+        section[f"{key}_block_product"] = {
+            "n": n,
+            "tile": get_block_tile(),
+            "seed_cube_seconds": round(cube_s, 4),
+            "blocked_seconds": round(plain_s, 4),
+            "speedup": round(cube_s / plain_s, 2),
+        }
+        section[f"{key}_block_product_with_witness"] = {
+            "n": n,
+            "seed_cube_seconds": round(cube_s, 4),
+            "blocked_seconds": round(witness_s, 4),
+            "speedup": round(cube_s / witness_s, 2),
+        }
+    return section
+
+
+def end_to_end_section(cube_n: int, apsp_n: int, naive_n: int, reps: int) -> dict:
+    """Current wall-clock + round numbers for the array-native engines."""
+    rng = np.random.default_rng(1)
+    section: dict[str, dict] = {}
+
+    s, t = _distance_matrix(rng, cube_n), _distance_matrix(rng, cube_n)
+
+    def run_semiring3d():
+        clique = CongestedClique(cube_n)
+        semiring_matmul(clique, s, t, MIN_PLUS, with_witnesses=True)
+        return clique.rounds
+
+    rounds = run_semiring3d()
+    section["semiring3d_minplus_witness"] = {
+        "n": cube_n,
+        "seconds": round(_best_of(run_semiring3d, reps), 4),
+        "rounds": rounds,
+    }
+
+    sn, tn = _distance_matrix(rng, naive_n), _distance_matrix(rng, naive_n)
+
+    def run_naive():
+        clique = CongestedClique(naive_n)
+        broadcast_matmul(clique, sn, tn, MIN_PLUS, with_witnesses=True)
+        return clique.rounds
+
+    rounds = run_naive()
+    section["naive_minplus_witness"] = {
+        "n": naive_n,
+        "seconds": round(_best_of(run_naive, reps), 4),
+        "rounds": rounds,
+    }
+
+    graph = random_weighted_graph(apsp_n, 0.05, max_weight=100, seed=2)
+
+    def run_apsp():
+        return apsp_exact(graph, with_routing_tables=True).rounds
+
+    rounds = run_apsp()
+    section["apsp_exact_routing_tables"] = {
+        "n": apsp_n,
+        "seconds": round(_best_of(run_apsp, reps), 4),
+        "rounds": rounds,
+    }
+    return section
+
+
+def build_report(quick: bool) -> dict:
+    reps = 2 if quick else 3
+    kernel_n = 128 if quick else 512
+    report = {
+        "schema": "repro-perf-report/1",
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernel": kernel_section(kernel_n, reps),
+        "end_to_end": end_to_end_section(
+            cube_n=64 if quick else 512,
+            apsp_n=30 if quick else 100,
+            naive_n=64 if quick else 256,
+            reps=reps,
+        ),
+    }
+    headline = report["kernel"]["min_plus_block_product"]
+    report["headline"] = {
+        "minplus_block_product_speedup": headline["speedup"],
+        "target_speedup": 5.0,
+        "meets_target": headline["speedup"] >= 5.0,
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sizes (~seconds)")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_matmul.json"),
+        help="output JSON path (default: repo-root BENCH_matmul.json)",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    report = build_report(quick=args.quick)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(
+        f"\nwrote {args.out} "
+        f"(headline min-plus speedup: {report['headline']['minplus_block_product_speedup']}x, "
+        f"wall time {time.time() - started:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

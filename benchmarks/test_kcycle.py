@@ -15,6 +15,9 @@ from repro.subgraphs import detect_k_cycle
 
 from .conftest import run_once
 
+# Colour-coding trials make this the most expensive benchmark family.
+pytestmark = pytest.mark.slow
+
 SIZES = [16, 49, 100]
 
 

@@ -39,6 +39,51 @@ def words_for_value(max_abs: int, word_bits: int) -> int:
     return max(1, math.ceil(int_bits(max_abs) / word_bits))
 
 
+#: ``_POW2[k] == 2**k`` for ``k < 63``; used for an exact vectorised
+#: ``int.bit_length`` (float ``log2`` is not trustworthy near ``2**62``).
+_POW2 = 2 ** np.arange(63, dtype=np.int64)
+
+
+def bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Vectorised ``int.bit_length`` for non-negative ``int64`` values.
+
+    Exact for the full ``int64`` range: a value with bit length ``b``
+    satisfies ``2**(b-1) <= v < 2**b``, so the number of powers of two
+    ``<= v`` is exactly ``b`` (and ``0`` maps to ``0``).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if np.any(values < 0):
+        raise ValueError("bit_lengths expects non-negative values")
+    return np.searchsorted(_POW2, values, side="right").astype(np.int64)
+
+
+def words_for_values(max_abs: np.ndarray, word_bits: int) -> np.ndarray:
+    """Vectorised :func:`words_for_value`: words per entry, elementwise.
+
+    Agrees exactly with the scalar helper (property-tested), so array-native
+    primitives charge bit-identical widths to the tuple path.
+    """
+    bits = 1 + np.maximum(1, bit_lengths(max_abs))
+    return np.maximum(1, -(-bits // word_bits))
+
+
+def block_widths(blocks: np.ndarray, word_bits: int) -> np.ndarray:
+    """Per-piece word widths for a batch of equally-shaped pieces.
+
+    ``blocks`` has shape ``(p, ...)``: ``p`` pieces of identical trailing
+    shape.  Each piece is charged like :func:`words_for_array` charges a
+    single array: ``size * words_for_value(max_abs(piece))``.
+    """
+    blocks = np.asarray(blocks)
+    if blocks.ndim < 2:
+        raise ValueError("block_widths expects a (pieces, ...) batch")
+    entries = int(np.prod(blocks.shape[1:]))
+    if entries == 0:
+        return np.zeros(blocks.shape[0], dtype=np.int64)
+    flat = np.abs(blocks.reshape(blocks.shape[0], entries))
+    return entries * words_for_values(flat.max(axis=1), word_bits)
+
+
 def words_for_array(arr: np.ndarray, word_bits: int) -> int:
     """Total words needed to ship ``arr``, charging its true entry width.
 
@@ -83,7 +128,10 @@ def validate_outboxes(
 __all__ = [
     "default_word_bits",
     "int_bits",
+    "bit_lengths",
     "words_for_value",
+    "words_for_values",
     "words_for_array",
+    "block_widths",
     "validate_outboxes",
 ]

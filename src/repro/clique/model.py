@@ -19,6 +19,15 @@ bit word per ordered node pair per round):
   primitive of Dolev et al. [24]: replicate ``R`` fixed-width records to all
   nodes in ``O(R / n)`` rounds.
 
+Each exchange primitive also has an **array-native fast path** --
+:meth:`CongestedClique.broadcast_rows`, :meth:`CongestedClique.route_array`
+and :meth:`CongestedClique.transpose_array` -- that moves whole ``int64``
+row-blocks as single NumPy arrays with vectorised load accounting instead
+of per-payload Python tuples.  The fast path charges bit-identical round
+counts to the tuple path for the same logical exchange; it exists purely to
+make the simulator's wall-clock scale (the hot matmul engines are written
+against it).
+
 Algorithms written on top keep **node-local state in per-node containers**
 (lists indexed by node id) and only exchange data through these primitives;
 that discipline is what makes the simulated round counts meaningful.
@@ -30,9 +39,24 @@ import math
 from enum import Enum
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.clique.accounting import CostMeter, PhaseCost
-from repro.clique.messages import default_word_bits, validate_outboxes
-from repro.clique.routing import Outboxes, analyze, deliver, enforce_load_bound
+from repro.clique.messages import (
+    block_widths,
+    default_word_bits,
+    validate_outboxes,
+)
+from repro.clique.routing import (
+    ArrayInbox,
+    Outboxes,
+    analyze,
+    analyze_array,
+    deliver,
+    deliver_array,
+    enforce_load_bound,
+    flatten_array_batch,
+)
 from repro.clique.scheduling import (
     broadcast_rounds,
     direct_rounds,
@@ -119,22 +143,28 @@ class CongestedClique:
                 raise CliqueModelError("per-node word widths must have length n")
         if any(w < 0 for w in widths):
             raise CliqueModelError("negative broadcast width")
-        rounds = broadcast_rounds(widths)
-        total = sum(w * (n - 1) for w in widths)
-        all_widths = sum(widths)
+        self._charge_broadcast(widths, phase)
+        shared = list(payloads)
+        return [shared[:] for _ in range(n)]
+
+    def _charge_broadcast(self, widths: list[int], phase: str) -> None:
+        """Meter one all-to-all broadcast of per-node ``widths`` words.
+
+        Shared by the tuple and array broadcast paths so both charge
+        bit-identical costs for identical widths.
+        """
+        n = self.n
         self.meter.charge(
             PhaseCost(
                 phase=phase,
                 primitive="broadcast",
-                rounds=rounds,
-                words=total,
+                rounds=broadcast_rounds(widths),
+                words=sum(w * (n - 1) for w in widths),
                 payloads=n,
                 max_send_words=max(w * (n - 1) for w in widths),
-                max_recv_words=all_widths - min(widths),
+                max_recv_words=sum(widths) - min(widths),
             )
         )
-        shared = list(payloads)
-        return [shared[:] for _ in range(n)]
 
     def send(
         self,
@@ -215,6 +245,152 @@ class CongestedClique:
             )
         )
         return deliver(outboxes, self.n)
+
+    # ------------------------------------------------------------------ #
+    # Array-native fast path
+    # ------------------------------------------------------------------ #
+    #
+    # These primitives move whole int64 row-blocks as single NumPy arrays
+    # with vectorised load accounting, instead of per-payload Python tuples.
+    # They charge *bit-identical* costs to the tuple primitives for the
+    # same logical exchange (same widths, same phases -- equivalence is
+    # enforced by the test suite), so algorithms can switch freely.
+
+    def broadcast_rows(
+        self,
+        rows: np.ndarray,
+        *,
+        widths: Sequence[int] | None = None,
+        phase: str = "broadcast",
+    ) -> np.ndarray:
+        """Array-native broadcast: node ``v`` broadcasts ``rows[v]``.
+
+        Args:
+            rows: ``(n, ...)`` int64 array; node ``v`` owns slice ``rows[v]``.
+            widths: per-node word widths; defaults to the honest per-row
+                width (``row.size * words_for_value(max_abs(row))``),
+                exactly what the tuple path charges per row.
+
+        Returns:
+            The full ``rows`` array -- every node's (shared) replica.  As
+            with :meth:`broadcast`, receivers must not mutate it.
+        """
+        rows = np.ascontiguousarray(np.asarray(rows, dtype=np.int64))
+        if rows.shape[0] != self.n:
+            raise CliqueModelError(
+                f"expected {self.n} broadcast rows, got {rows.shape[0]}"
+            )
+        if widths is None:
+            width_list = [
+                int(w) for w in block_widths(rows.reshape(self.n, -1), self.word_bits)
+            ]
+        else:
+            width_list = [int(w) for w in widths]
+            if len(width_list) != self.n:
+                raise CliqueModelError("per-node word widths must have length n")
+            if any(w < 0 for w in width_list):
+                raise CliqueModelError("negative broadcast width")
+        self._charge_broadcast(width_list, phase)
+        return rows
+
+    def route_array(
+        self,
+        dests: Sequence[np.ndarray],
+        blocks: Sequence[np.ndarray],
+        *,
+        widths: Sequence[np.ndarray] | None = None,
+        tags: Sequence[np.ndarray] | None = None,
+        phase: str = "route",
+        expect_max_load: int | None = None,
+    ) -> list[ArrayInbox]:
+        """Array-native Lenzen-routed exchange.
+
+        The batched counterpart of :meth:`route`: node ``v`` ships the
+        equally-shaped pieces ``blocks[v][i]`` to nodes ``dests[v][i]``.
+        Load accounting (``np.bincount``-style scatter-adds over destination
+        ids) and delivery (one stable sort) are vectorised over the whole
+        exchange.
+
+        Args:
+            dests: per node, a ``(p_v,)`` vector of destination ids.
+            blocks: per node, a ``(p_v, *piece_shape)`` int64 stack of
+                pieces; the piece shape must be uniform across the exchange.
+            widths: per node, ``(p_v,)`` words charged per piece; defaults
+                to the honest per-piece width
+                (:func:`repro.clique.messages.block_widths`).
+            tags: optional per node ``(p_v,)`` metadata ints delivered with
+                each piece (uncharged, like tuple-path headers).
+            expect_max_load: asserted per-node load bound, as in
+                :meth:`route`.
+
+        Returns:
+            Per destination node, an
+            :class:`~repro.clique.routing.ArrayInbox` with pieces ordered by
+            sender id then emission order.
+        """
+        try:
+            if widths is None:
+                widths = [
+                    block_widths(np.asarray(b, dtype=np.int64), self.word_bits)
+                    for b in blocks
+                ]
+            batch = flatten_array_batch(dests, blocks, widths, tags, self.n)
+        except ValueError as exc:
+            raise CliqueModelError(str(exc)) from exc
+        exact = self.mode is ScheduleMode.EXACT
+        profile = analyze_array(batch, with_demand=exact)
+        enforce_load_bound(profile, expect_max_load)
+        if exact and profile.demand:
+            rounds = relay_schedule(profile.demand, self.n).rounds
+        else:
+            rounds = relay_rounds_fast(profile.max_load, self.n)
+        self.meter.charge(
+            PhaseCost(
+                phase=phase,
+                primitive="route",
+                rounds=rounds,
+                words=profile.total_words,
+                payloads=profile.payloads,
+                max_send_words=profile.max_send,
+                max_recv_words=profile.max_recv,
+            )
+        )
+        return deliver_array(batch)
+
+    def transpose_array(
+        self,
+        matrix: np.ndarray,
+        *,
+        words_per_entry: int = 1,
+        phase: str = "transpose",
+    ) -> np.ndarray:
+        """Array-native one-round transpose of an ``(n, n)`` int64 matrix.
+
+        Node ``v`` sends ``matrix[v, u]`` to node ``u``; node ``u`` ends up
+        holding column ``u``, i.e. row ``u`` of the transpose.  Charges the
+        same cost as :meth:`transpose` (every ordered pair carries exactly
+        ``words_per_entry`` words, so ``words_per_entry`` rounds).
+        """
+        matrix = np.asarray(matrix, dtype=np.int64)
+        n = self.n
+        if matrix.shape != (n, n):
+            raise CliqueModelError("transpose_array expects an n x n matrix")
+        if words_per_entry < 1:
+            raise CliqueModelError(
+                f"non-positive word count {words_per_entry}"
+            )
+        self.meter.charge(
+            PhaseCost(
+                phase=phase,
+                primitive="send",
+                rounds=words_per_entry,
+                words=words_per_entry * n * (n - 1),
+                payloads=n * n,
+                max_send_words=(n - 1) * words_per_entry,
+                max_recv_words=(n - 1) * words_per_entry,
+            )
+        )
+        return matrix.T.copy()
 
     def transpose(
         self,

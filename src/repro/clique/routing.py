@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
+
+import numpy as np
 
 from repro.clique.scheduling import Demand
 from repro.errors import LoadBoundExceededError
@@ -84,6 +86,174 @@ def enforce_load_bound(profile: LoadProfile, expect_max_load: int | None) -> Non
         )
 
 
+# --------------------------------------------------------------------- #
+# Array-native exchanges
+# --------------------------------------------------------------------- #
+#
+# The tuple path above pays a Python-level cost per *payload*; the array
+# path pays it per *batch*.  A batch is, per node, a vector of destination
+# ids plus a stacked block of equally-shaped int64 pieces; load accounting
+# and delivery are then single vectorised passes (``np.bincount`` /
+# stable argsort) over the concatenated batch.
+
+
+@dataclass(frozen=True)
+class ArrayInbox:
+    """What one node receives from an array-native exchange.
+
+    Attributes:
+        sources: ``(p,)`` sender ids, ascending (ties in emission order --
+            the same deterministic order :func:`deliver` produces).
+        blocks: ``(p, *piece_shape)`` stacked received pieces.
+        tags: ``(p,)`` caller-defined per-piece metadata ints, or ``None``.
+            Tags ride along for free, like the tuple headers of the tuple
+            path (headers were never charged words there either).
+    """
+
+    sources: np.ndarray
+    blocks: np.ndarray
+    tags: np.ndarray | None
+
+
+@dataclass(frozen=True)
+class ArrayBatch:
+    """A flattened array-native exchange: one row per piece, all senders.
+
+    Built once by :func:`flatten_array_batch` and shared by accounting and
+    delivery.  ``src``/``dst``/``widths`` are ``(p,)`` vectors over every
+    piece in the exchange; ``blocks`` stacks the pieces themselves.
+    """
+
+    n: int
+    src: np.ndarray
+    dst: np.ndarray
+    widths: np.ndarray
+    blocks: np.ndarray
+    tags: np.ndarray | None
+
+    @property
+    def payloads(self) -> int:
+        return int(self.src.shape[0])
+
+
+def flatten_array_batch(
+    dests: Sequence[np.ndarray],
+    blocks: Sequence[np.ndarray],
+    widths: Sequence[np.ndarray],
+    tags: Sequence[np.ndarray] | None,
+    n: int,
+) -> ArrayBatch:
+    """Concatenate per-node piece vectors into one exchange-wide batch.
+
+    ``dests[v]``, ``widths[v]`` (and ``tags[v]`` if given) are ``(p_v,)``
+    vectors and ``blocks[v]`` is ``(p_v, *piece_shape)``; the piece shape
+    must be uniform across the whole exchange.  Raises ``ValueError`` on
+    malformed input (the caller wraps into ``CliqueModelError``).
+    """
+    if len(dests) != n or len(blocks) != n or len(widths) != n:
+        raise ValueError(f"expected {n} per-node batches")
+    if tags is not None and len(tags) != n:
+        raise ValueError(f"expected {n} per-node tag vectors")
+    counts = []
+    for v in range(n):
+        d = np.asarray(dests[v])
+        b = np.asarray(blocks[v])
+        w = np.asarray(widths[v])
+        if d.ndim != 1 or w.ndim != 1 or b.ndim < 1:
+            raise ValueError(f"node {v}: malformed array batch")
+        if d.shape[0] != b.shape[0] or d.shape[0] != w.shape[0]:
+            raise ValueError(
+                f"node {v}: dests/blocks/widths disagree on piece count"
+            )
+        if tags is not None:
+            t = np.asarray(tags[v])
+            if t.ndim != 1 or t.shape[0] != d.shape[0]:
+                raise ValueError(
+                    f"node {v}: tags disagree with dests on piece count"
+                )
+        counts.append(d.shape[0])
+    src = np.repeat(np.arange(n, dtype=np.int64), counts)
+    dst = np.concatenate([np.asarray(d, dtype=np.int64) for d in dests])
+    width_vec = np.concatenate([np.asarray(w, dtype=np.int64) for w in widths])
+    block_mat = np.concatenate([np.asarray(b, dtype=np.int64) for b in blocks])
+    tag_vec = (
+        np.concatenate([np.asarray(t, dtype=np.int64) for t in tags])
+        if tags is not None
+        else None
+    )
+    if dst.size:
+        if int(dst.min()) < 0 or int(dst.max()) >= n:
+            raise ValueError("array batch destination out of range")
+        if np.any(width_vec[dst != src] <= 0):
+            raise ValueError("non-positive word count in array batch")
+    return ArrayBatch(
+        n=n, src=src, dst=dst, widths=width_vec, blocks=block_mat, tags=tag_vec
+    )
+
+
+def analyze_array(batch: ArrayBatch, *, with_demand: bool = False) -> LoadProfile:
+    """Vectorised :func:`analyze` for an array batch.
+
+    Produces the same :class:`LoadProfile` numbers the tuple path computes
+    piece by piece (self-addressed pieces excluded from loads, included in
+    the payload count).  The per-pair ``demand`` map is only materialised
+    when ``with_demand`` is set (EXACT scheduling); FAST-mode accounting
+    needs only the per-node aggregates.
+    """
+    n = batch.n
+    nonself = batch.src != batch.dst
+    src = batch.src[nonself]
+    dst = batch.dst[nonself]
+    w = batch.widths[nonself]
+    send = np.zeros(n, dtype=np.int64)
+    recv = np.zeros(n, dtype=np.int64)
+    np.add.at(send, src, w)
+    np.add.at(recv, dst, w)
+    demand: Demand = {}
+    if with_demand and src.size:
+        pair_keys = src * n + dst
+        uniq, inverse = np.unique(pair_keys, return_inverse=True)
+        pair_words = np.zeros(uniq.shape[0], dtype=np.int64)
+        np.add.at(pair_words, inverse, w)
+        demand = {
+            (int(key) // n, int(key) % n): int(words)
+            for key, words in zip(uniq, pair_words)
+        }
+    return LoadProfile(
+        send_words=send.tolist(),
+        recv_words=recv.tolist(),
+        total_words=int(w.sum()),
+        payloads=batch.payloads,
+        demand=demand,
+    )
+
+
+def deliver_array(batch: ArrayBatch) -> list[ArrayInbox]:
+    """Vectorised :func:`deliver`: route every piece to its destination.
+
+    One stable sort by destination groups the batch into inboxes; stability
+    preserves the (sender id, emission order) order within each inbox,
+    matching the tuple path's deterministic delivery order.
+    """
+    order = np.argsort(batch.dst, kind="stable")
+    src = batch.src[order]
+    blocks = batch.blocks[order]
+    tags = batch.tags[order] if batch.tags is not None else None
+    counts = np.bincount(batch.dst, minlength=batch.n)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    inboxes: list[ArrayInbox] = []
+    for u in range(batch.n):
+        lo, hi = int(offsets[u]), int(offsets[u + 1])
+        inboxes.append(
+            ArrayInbox(
+                sources=src[lo:hi],
+                blocks=blocks[lo:hi],
+                tags=tags[lo:hi] if tags is not None else None,
+            )
+        )
+    return inboxes
+
+
 def deliver(outboxes: Outboxes, n: int) -> list[list[tuple[int, Any]]]:
     """Move every payload to its destination inbox.
 
@@ -100,4 +270,15 @@ def deliver(outboxes: Outboxes, n: int) -> list[list[tuple[int, Any]]]:
     return inboxes
 
 
-__all__ = ["Outboxes", "LoadProfile", "analyze", "enforce_load_bound", "deliver"]
+__all__ = [
+    "Outboxes",
+    "LoadProfile",
+    "analyze",
+    "enforce_load_bound",
+    "deliver",
+    "ArrayInbox",
+    "ArrayBatch",
+    "flatten_array_batch",
+    "analyze_array",
+    "deliver_array",
+]

@@ -244,12 +244,36 @@ class RelaySchedule:
     hops: list[list[tuple[int, int]]]
 
 
+#: Memoised relay schedules, keyed on ``(n, sorted demand items)``.  The
+#: oblivious exchanges of the matmul engines re-emit the same demand every
+#: squaring (APSP runs ``O(log n)`` of them), and Koenig colouring is by far
+#: the most expensive part of EXACT mode -- so identical demands share one
+#: immutable schedule.  Bounded so pathological workloads cannot hoard
+#: memory; entries are evicted FIFO.
+_SCHEDULE_CACHE: dict[tuple[int, tuple[tuple[tuple[int, int], int], ...]], "RelaySchedule"] = {}
+_SCHEDULE_CACHE_MAX = 128
+
+
 def relay_schedule(demand: Demand, n: int) -> RelaySchedule:
-    """Build and validate the full relay schedule for a demand.
+    """Build and validate the full relay schedule for a demand (memoised).
 
     Implements the batch construction from the module docstring and checks
     every round against the one-word-per-ordered-pair model constraint.
+    Schedules are cached per ``(n, demand)``: callers must treat the
+    returned schedule as immutable.
     """
+    key = (n, tuple(sorted(demand.items())))
+    cached = _SCHEDULE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    schedule = _build_relay_schedule(demand, n)
+    if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+        _SCHEDULE_CACHE.pop(next(iter(_SCHEDULE_CACHE)))
+    _SCHEDULE_CACHE[key] = schedule
+    return schedule
+
+
+def _build_relay_schedule(demand: Demand, n: int) -> RelaySchedule:
     matchings = colour_into_matchings(demand, n)
     validate_matchings(matchings, demand)
     hops: list[list[tuple[int, int]]] = []

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -76,15 +77,9 @@ class CubeLayout:
 
     @classmethod
     def for_clique(cls, n: int) -> "CubeLayout":
-        q = exact_cbrt(n)
-        if q is None:
-            from repro.errors import CliqueSizeError
-
-            raise CliqueSizeError(
-                f"the 3D semiring algorithm needs a perfect-cube clique; "
-                f"got n={n} (use next_cube({n})={next_cube(n)})"
-            )
-        return cls(n=n, q=q)
+        # Memoised: repeated squarings (APSP runs O(log n) products on the
+        # same clique) share one immutable layout instead of re-deriving it.
+        return _cube_layout_for_clique(n)
 
     def digits(self, v: int) -> tuple[int, int, int]:
         """The base-``q`` digits ``(v1, v2, v3)`` of node ``v``."""
@@ -104,6 +99,19 @@ class CubeLayout:
         """``x**`` as a slice, for indexing matrix rows/columns."""
         start, stop = self.first_digit_range(x)
         return slice(start, stop)
+
+
+@lru_cache(maxsize=None)
+def _cube_layout_for_clique(n: int) -> "CubeLayout":
+    q = exact_cbrt(n)
+    if q is None:
+        from repro.errors import CliqueSizeError
+
+        raise CliqueSizeError(
+            f"the 3D semiring algorithm needs a perfect-cube clique; "
+            f"got n={n} (use next_cube({n})={next_cube(n)})"
+        )
+    return CubeLayout(n=n, q=q)
 
 
 @dataclass(frozen=True)
@@ -126,22 +134,9 @@ class GridLayout:
 
     @classmethod
     def for_clique(cls, n: int, d: int) -> "GridLayout":
-        q = exact_sqrt(n)
-        if q is None:
-            from repro.errors import CliqueSizeError
-
-            raise CliqueSizeError(
-                f"the bilinear algorithm needs a perfect-square clique; "
-                f"got n={n} (use next_square({n})={next_square(n)})"
-            )
-        if d < 1 or d > q:
-            from repro.errors import CliqueSizeError
-
-            raise CliqueSizeError(
-                f"block dimension d={d} must satisfy 1 <= d <= sqrt(n)={q}"
-            )
-        c = math.ceil(q / d)
-        return cls(n=n, q=q, d=d, c=c, m_padded=d * q * c)
+        # Memoised like CubeLayout.for_clique: iterated ring products reuse
+        # the same immutable grid description.
+        return _grid_layout_for_clique(n, d)
 
     def label(self, v: int) -> tuple[int, int]:
         """The secondary label ``(x1, x2)`` of node ``v``."""
@@ -172,6 +167,26 @@ class GridLayout:
     def cell_slice(self, x: int) -> tuple[slice, ...]:
         """Row range of cell ``x`` *within one block*: ``x*c .. (x+1)*c``."""
         return (slice(x * self.c, (x + 1) * self.c),)
+
+
+@lru_cache(maxsize=None)
+def _grid_layout_for_clique(n: int, d: int) -> "GridLayout":
+    q = exact_sqrt(n)
+    if q is None:
+        from repro.errors import CliqueSizeError
+
+        raise CliqueSizeError(
+            f"the bilinear algorithm needs a perfect-square clique; "
+            f"got n={n} (use next_square({n})={next_square(n)})"
+        )
+    if d < 1 or d > q:
+        from repro.errors import CliqueSizeError
+
+        raise CliqueSizeError(
+            f"block dimension d={d} must satisfy 1 <= d <= sqrt(n)={q}"
+        )
+    c = math.ceil(q / d)
+    return GridLayout(n=n, q=q, d=d, c=c, m_padded=d * q * c)
 
 
 __all__ = [

@@ -1,0 +1,190 @@
+"""Property tests: blocked semiring kernels vs the retained cube oracle.
+
+The blocked kernels (tiled / column-wise accumulators, plus the min-plus
+penalty-encoded fast path) must agree *bit for bit* -- values and witnesses
+-- with ``reference_matmul`` / ``cube_matmul_with_witness``, the seed's
+cube-materialising kernel kept as an independent oracle.  Matrices include
+``INF`` / ``-INF`` saturation, negative entries, near-``INF`` finite
+entries (which force the exact fallback), and non-square blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.semirings import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    MAX_MIN,
+    MIN_PLUS,
+    PLUS_TIMES,
+    get_block_tile,
+    reference_matmul,
+    saturating_add,
+    set_block_tile,
+)
+from repro.constants import INF
+
+SELECTION = (MIN_PLUS, MAX_MIN)
+
+
+def _random_block(rng, semiring, shape, *, boundary: bool):
+    if semiring is BOOLEAN:
+        return (rng.random(shape) < 0.5).astype(np.int64)
+    if semiring is MIN_PLUS:
+        mat = rng.integers(-40, 200, shape, dtype=np.int64)
+        mat[rng.random(shape) < 0.25] = INF
+        if boundary:
+            # Near-INF finite entries exercise the exact (non-penalty) path.
+            mat[rng.random(shape) < 0.15] = INF - 1
+            mat[rng.random(shape) < 0.1] = (1 << 59) + 7
+        return mat
+    if semiring is MAX_MIN:
+        mat = rng.integers(-200, 200, shape, dtype=np.int64)
+        mat[rng.random(shape) < 0.15] = -INF
+        mat[rng.random(shape) < 0.1] = INF
+        return mat
+    return rng.integers(-50, 50, shape, dtype=np.int64)
+
+
+class TestBlockedVsReference:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_all_semirings_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k, n = (int(v) for v in rng.integers(1, 14, 3))
+        boundary = bool(rng.random() < 0.4)
+        for semiring in ALL_SEMIRINGS:
+            x = _random_block(rng, semiring, (m, k), boundary=boundary)
+            y = _random_block(rng, semiring, (k, n), boundary=boundary)
+            assert np.array_equal(
+                semiring.matmul(x, y), reference_matmul(semiring, x, y)
+            ), semiring.name
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_witnesses_match_cube_kernel(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k, n = (int(v) for v in rng.integers(1, 14, 3))
+        boundary = bool(rng.random() < 0.4)
+        for semiring in SELECTION:
+            x = _random_block(rng, semiring, (m, k), boundary=boundary)
+            y = _random_block(rng, semiring, (k, n), boundary=boundary)
+            p_cube, w_cube = semiring.cube_matmul_with_witness(x, y)
+            p_blk, w_blk = semiring.matmul_with_witness(x, y)
+            assert np.array_equal(p_cube, p_blk), semiring.name
+            assert np.array_equal(w_cube, w_blk), semiring.name
+            # The witness must actually attain the product value.
+            rows = np.arange(m)[:, None]
+            cols = np.arange(n)[None, :]
+            attained = saturating_add(x[rows, w_blk], y[w_blk, cols]) \
+                if semiring is MIN_PLUS else np.minimum(x[rows, w_blk], y[w_blk, cols])
+            assert np.array_equal(attained, p_blk), semiring.name
+
+    @pytest.mark.parametrize("tile", [1, 2, 3, 7, 64, 1024])
+    def test_every_tile_size_agrees(self, tile):
+        rng = np.random.default_rng(tile)
+        for semiring in SELECTION:
+            x = _random_block(rng, semiring, (9, 25), boundary=False)
+            y = _random_block(rng, semiring, (25, 6), boundary=False)
+            expected = reference_matmul(semiring, x, y)
+            assert np.array_equal(semiring.matmul(x, y, tile=tile), expected)
+            p, _ = semiring.matmul_with_witness(x, y, tile=tile)
+            assert np.array_equal(p, expected)
+
+    def test_empty_inner_dimension(self):
+        x = np.zeros((3, 0), dtype=np.int64)
+        y = np.zeros((0, 4), dtype=np.int64)
+        for semiring in SELECTION:
+            product = semiring.matmul(x, y)
+            assert product.shape == (3, 4)
+            assert np.all(product == semiring.zero_value)
+
+    def test_shape_mismatch_raises(self):
+        x = np.zeros((3, 4), dtype=np.int64)
+        y = np.zeros((5, 2), dtype=np.int64)
+        with pytest.raises(ValueError):
+            MIN_PLUS.matmul(x, y)
+
+    def test_plus_times_is_plain_matmul(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-9, 9, (7, 5), dtype=np.int64)
+        y = rng.integers(-9, 9, (5, 8), dtype=np.int64)
+        assert np.array_equal(PLUS_TIMES.matmul(x, y), x @ y)
+
+
+class TestSaturatingAdd:
+    """Regression tests at the INF boundary (int64 overflow exposure)."""
+
+    def test_inf_plus_inf_saturates_without_overflow(self):
+        a = np.array([INF, INF, INF], dtype=np.int64)
+        b = np.array([INF, 0, -5], dtype=np.int64)
+        with np.errstate(over="raise"):
+            out = saturating_add(a, b)
+        assert np.array_equal(out, np.array([INF, INF, INF], dtype=np.int64))
+
+    def test_infinite_operand_dominates_negative_addend(self):
+        # INF + (-5) must stay INF, not become a huge finite distance.
+        assert saturating_add(np.int64(INF), np.int64(-5)) == INF
+        assert saturating_add(np.int64(-5), np.int64(INF)) == INF
+
+    def test_near_inf_finite_sums_clip_at_inf(self):
+        a = np.array([INF - 1, INF - 1], dtype=np.int64)
+        b = np.array([INF - 1, 0], dtype=np.int64)
+        out = saturating_add(a, b)
+        assert out[0] == INF  # (INF-1) + (INF-1) saturates
+        assert out[1] == INF - 1  # still finite: below the sentinel
+
+    def test_finite_arithmetic_untouched(self):
+        a = np.array([3, -7, 0], dtype=np.int64)
+        b = np.array([4, 2, -1], dtype=np.int64)
+        assert np.array_equal(saturating_add(a, b), np.array([7, -5, -1]))
+
+    def test_minplus_product_at_inf_boundary_matches_cube(self):
+        # A matrix full of INF and INF-1 forces the exact fallback path and
+        # must still agree with the cube oracle entry for entry.
+        x = np.array([[INF, INF - 1], [0, INF]], dtype=np.int64)
+        y = np.array([[INF, 1], [INF - 1, INF]], dtype=np.int64)
+        p_cube, w_cube = MIN_PLUS.cube_matmul_with_witness(x, y)
+        p_blk, w_blk = MIN_PLUS.matmul_with_witness(x, y)
+        assert np.array_equal(p_cube, p_blk)
+        assert np.array_equal(w_cube, w_blk)
+        assert np.array_equal(MIN_PLUS.matmul(x, y), p_cube)
+        # Fully unreachable rows stay saturated.
+        assert p_blk[0, 0] == INF and w_blk[0, 0] == 0
+
+    def test_unreachable_entries_stay_unreachable_through_squaring(self):
+        dist = np.full((4, 4), INF, dtype=np.int64)
+        np.fill_diagonal(dist, 0)
+        dist[0, 1] = 3
+        squared = MIN_PLUS.matmul(dist, dist)
+        assert squared[0, 1] == 3
+        assert squared[2, 3] == INF
+        assert squared[0, 2] == INF
+
+
+class TestTileConfig:
+    def test_set_block_tile_roundtrip(self):
+        old = set_block_tile(17)
+        try:
+            assert get_block_tile() == 17
+        finally:
+            set_block_tile(old)
+        assert get_block_tile() == old
+
+    def test_rejects_nonpositive_tile(self):
+        with pytest.raises(ValueError):
+            set_block_tile(0)
+
+    @pytest.mark.parametrize("tile", [0, -1])
+    def test_per_call_tile_validated(self, tile):
+        x = np.zeros((2, 3), dtype=np.int64)
+        y = np.zeros((3, 2), dtype=np.int64)
+        for semiring in SELECTION:
+            with pytest.raises(ValueError):
+                semiring.matmul(x, y, tile=tile)
+            with pytest.raises(ValueError):
+                semiring.matmul_with_witness(x, y, tile=tile)

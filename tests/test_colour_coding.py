@@ -76,6 +76,7 @@ class TestDetectKCycle:
         )
         assert result.value, f"missed planted {k}-cycle (seed {seed})"
 
+    @pytest.mark.slow
     def test_completeness_k5_deterministic(self):
         # k = 5 has per-trial success ~0.038, so the property version would
         # be statistically flaky; pin one seeded instance instead.
@@ -94,6 +95,7 @@ class TestDetectKCycle:
             if result.value:
                 assert has_k_cycle_reference(g, k)
 
+    @pytest.mark.slow
     def test_even_cycle_detection(self):
         g = planted_cycle_graph(20, 6, seed=7, extra_edge_prob=0.3)
         result = detect_k_cycle(g, 6, trials=120, rng=np.random.default_rng(2))

@@ -11,16 +11,23 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 CASES = [
-    ("quickstart.py", ["27"]),
-    ("social_network_triangles.py", ["36"]),
-    ("road_network_apsp.py", ["3", "4"]),
-    ("girth_and_cycles.py", ["25"]),
-    ("scaling_study.py", ["--small"]),
-    ("bottleneck_routing.py", ["16"]),
+    pytest.param("quickstart.py", ["27"], id="quickstart.py"),
+    pytest.param(
+        "social_network_triangles.py", ["36"], id="social_network_triangles.py"
+    ),
+    pytest.param("road_network_apsp.py", ["3", "4"], id="road_network_apsp.py"),
+    pytest.param(
+        "girth_and_cycles.py",
+        ["25"],
+        id="girth_and_cycles.py",
+        marks=pytest.mark.slow,
+    ),
+    pytest.param("scaling_study.py", ["--small"], id="scaling_study.py"),
+    pytest.param("bottleneck_routing.py", ["16"], id="bottleneck_routing.py"),
 ]
 
 
-@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("script,args", CASES)
 def test_example_runs(script, args):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / script), *args],

@@ -73,6 +73,7 @@ class TestDiameter:
 
 
 class TestKPathDetection:
+    @pytest.mark.slow
     @settings(max_examples=5, deadline=None)
     @given(
         st.integers(min_value=0, max_value=10**6),

@@ -7,6 +7,9 @@ import pytest
 from repro.analysis import format_table1, run_table1
 from repro.constants import RHO_IMPLEMENTED
 
+# The quick Table 1 sweep still runs every algorithm end to end (~12s).
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def reports():
