@@ -2,7 +2,7 @@
 # from a clean checkout without an install.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-full bench perf-report table1
+.PHONY: test test-full bench perf-report bench-check table1
 
 test:        ## fast lane (default pytest config: -m "not slow")
 	$(PY) -m pytest -q
@@ -15,6 +15,9 @@ bench:       ## pytest-benchmark suites only
 
 perf-report: ## kernel + messaging perf report -> BENCH_matmul.json
 	$(PY) benchmarks/perf_report.py
+
+bench-check: ## fail if a quick perf run regresses >25% vs committed BENCH_matmul.json
+	$(PY) benchmarks/bench_check.py
 
 table1:      ## the consolidated measured Table 1
 	$(PY) benchmarks/table1_harness.py

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Perf regression gate: quick report vs the committed ``BENCH_matmul.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_check.py            # or: make bench-check
+    PYTHONPATH=src python benchmarks/bench_check.py --baseline X.json
+
+Runs :func:`perf_report.build_report` in ``--quick`` mode and compares every
+row that has a ``speedup`` field and the *same problem size* as the committed
+baseline (the engine sections run at ``n = 256`` in every mode precisely so
+they are always comparable; the kernel rows only gate when the quick size
+matches).  Speedup ratios are compared rather than raw seconds so the gate is
+robust to absolute machine speed; a row fails when its current speedup drops
+below ``(1 - TOLERANCE)`` of the committed one.
+
+Exit status 1 on any regression -- wire into CI or run before committing a
+refreshed ``BENCH_matmul.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from perf_report import build_report  # noqa: E402
+
+#: Maximum tolerated speedup regression (25%).
+TOLERANCE = 0.25
+
+#: Sections whose rows carry comparable ``speedup`` fields.  The headline
+#: "kernel" section only matches when the quick size equals the committed
+#: one; "kernel_gate" runs at n=128 in every mode, so the blocked selection
+#: kernels are always gated alongside the n=256 engine sections.
+SECTIONS = ("kernel", "kernel_gate", "bilinear", "boolean_product")
+
+
+def compare(committed: dict, current: dict) -> tuple[list[str], list[str]]:
+    """Return (report lines, failure lines) for all comparable rows."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for section in SECTIONS:
+        base_rows = committed.get(section, {})
+        for key, cur_row in current.get(section, {}).items():
+            base_row = base_rows.get(key)
+            if (
+                not isinstance(base_row, dict)
+                or "speedup" not in base_row
+                or "speedup" not in cur_row
+            ):
+                continue
+            if base_row.get("n") != cur_row.get("n"):
+                lines.append(
+                    f"  skip {section}/{key}: size mismatch "
+                    f"(baseline n={base_row.get('n')}, quick n={cur_row.get('n')})"
+                )
+                continue
+            floor = (1.0 - TOLERANCE) * base_row["speedup"]
+            verdict = "ok" if cur_row["speedup"] >= floor else "REGRESSED"
+            line = (
+                f"  {verdict:9s} {section}/{key}: speedup {cur_row['speedup']}x "
+                f"vs committed {base_row['speedup']}x (floor {floor:.2f}x)"
+            )
+            lines.append(line)
+            if verdict != "ok":
+                failures.append(line)
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=str(_HERE.parent / "BENCH_matmul.json"),
+        help="committed report to gate against (default: repo-root BENCH_matmul.json)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"bench-check: no baseline at {baseline_path}, nothing to gate")
+        return 0
+    committed = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = build_report(quick=True)
+    lines, failures = compare(committed, current)
+    print(f"bench-check vs {baseline_path}:")
+    for line in lines:
+        print(line)
+    if not lines:
+        print("  no comparable rows (baseline schema too old?)")
+    if failures:
+        print(f"bench-check: {len(failures)} row(s) regressed > {TOLERANCE:.0%}")
+        return 1
+    print("bench-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

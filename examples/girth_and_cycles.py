@@ -58,6 +58,23 @@ def main() -> int:
     print(f"C5 detection on girth-9   : found={res.value} "
           f"(soundness: no false positives, ever)")
     assert not res.value
+
+    # Girth's Boolean products ride the array-native §2.2 engine; the
+    # retained tuple formulation must charge the identical round count.
+    from repro.clique import CongestedClique
+    from repro.matmul.bilinear_clique import bilinear_matmul, bilinear_matmul_tuple
+    from repro.matmul.layout import next_square
+    from repro.runtime import pad_matrix
+
+    nsq = next_square(planted.n)
+    adj = pad_matrix(planted.adjacency, nsq)
+    array_clique, tuple_clique = CongestedClique(nsq), CongestedClique(nsq)
+    p_array = bilinear_matmul(array_clique, adj, adj)
+    p_tuple = bilinear_matmul_tuple(tuple_clique, adj, adj)
+    assert (p_array == p_tuple).all()
+    assert array_clique.rounds == tuple_clique.rounds
+    print(f"engine check: bilinear array path rounds == tuple path rounds"
+          f" ({array_clique.rounds})")
     return 0
 
 

@@ -185,21 +185,74 @@ class PlusTimesRing(Semiring):
 class BooleanSemiring(Semiring):
     """The Boolean semiring ``({0,1}, or, and)``.
 
-    Matrices are 0/1 ``int64``; products threshold an integer product, which
-    is exact because path counts are non-negative.  The product is taken in
-    ``float64`` (BLAS) -- exact because 0/1 operands bound every inner sum by
-    ``k < 2**53`` -- which is far faster than NumPy's ``int64`` matmul.
+    Matrices are 0/1 ``int64``.  The product kernel is *blocked*: the inner
+    dimension is processed in :data:`BOOL_TILE`-column tiles, each tile a
+    narrow ``float32`` GEMM whose thresholded result is OR-merged into a
+    boolean accumulator -- the Boolean analogue of the selection semirings'
+    accumulator kernels (``float32`` plays the role of the int8 accumulator:
+    one BLAS call per tile instead of a materialised AND cube).
+
+    Exactness does **not** need the inner count to fit the ``float32``
+    mantissa: partial sums of non-negative 0/1 products are monotone under
+    rounding, so a positive count can never round below ``1`` and a zero
+    count is exactly ``0`` -- the ``> 0.5`` threshold is exact for every
+    tile width.  The cube-materialising kernel is retained as
+    :meth:`cube_matmul` (oracle + perf baseline), mirroring
+    ``cube_matmul_with_witness`` on the selection semirings.
     """
 
     name = "boolean"
     zero_value = 0
 
-    def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        counts = x.astype(np.float64) @ y.astype(np.float64)
-        return (counts > 0.5).astype(np.int64)
+    #: Inner-dimension tile width for the blocked Boolean kernel.  Coarser
+    #: than the selection-kernel tile because a tile here is one BLAS call
+    #: on an ``(m, tile) x (tile, n)`` pair, not a materialised 3D slab; the
+    #: default keeps per-tile ``float32`` temporaries a few MB at the block
+    #: sizes the engines produce.
+    BOOL_TILE = 1024
+
+    def matmul(
+        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+    ) -> np.ndarray:
+        x, y = self._check(x, y)
+        if tile is None:
+            tile = self.BOOL_TILE
+        elif tile < 1:
+            raise ValueError(f"tile width must be positive, got {tile}")
+        k = x.shape[1]
+        acc = np.zeros((x.shape[0], y.shape[1]), dtype=bool)
+        xb = (x > 0).astype(np.float32)
+        yb = (y > 0).astype(np.float32)
+        for k0 in range(0, k, tile):
+            counts = xb[:, k0 : k0 + tile] @ yb[k0 : k0 + tile, :]
+            acc |= counts > 0.5
+        return acc.astype(np.int64)
+
+    def cube_matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """The cube-materialising Boolean product (oracle + perf baseline).
+
+        Materialises the full ``(m, k, n)`` slab of elementary ANDs and
+        reduces with ``any`` -- ``O(m k n)`` temporaries, like the seed's
+        selection-semiring cube kernel.  The blocked kernel is
+        property-tested against it and the perf report measures the speedup
+        relative to it.
+        """
+        x, y = self._check(x, y)
+        values = (x[:, :, None] > 0) & (y[None, :, :] > 0)
+        return values.any(axis=1).astype(np.int64)
 
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return ((a + b) > 0).astype(np.int64)
+
+    @staticmethod
+    def _check(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.ndim != 2 or y.ndim != 2 or x.shape[1] != y.shape[0]:
+            raise ValueError(
+                f"incompatible block shapes {x.shape} x {y.shape} for a product"
+            )
+        return x, y
 
 
 class _SelectionSemiring(Semiring):

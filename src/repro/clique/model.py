@@ -20,8 +20,11 @@ bit word per ordered node pair per round):
   nodes in ``O(R / n)`` rounds.
 
 Each exchange primitive also has an **array-native fast path** --
-:meth:`CongestedClique.broadcast_rows`, :meth:`CongestedClique.route_array`
-and :meth:`CongestedClique.transpose_array` -- that moves whole ``int64``
+:meth:`CongestedClique.broadcast_rows`, :meth:`CongestedClique.route_array`,
+:meth:`CongestedClique.send_array`, :meth:`CongestedClique.transpose_array`,
+the block all-to-alls :meth:`CongestedClique.scatter_blocks` /
+:meth:`CongestedClique.gather_blocks` and the record replication
+:meth:`CongestedClique.allgather_rows` -- that moves whole ``int64``
 row-blocks as single NumPy arrays with vectorised load accounting instead
 of per-payload Python tuples.  The fast path charges bit-identical round
 counts to the tuple path for the same logical exchange; it exists purely to
@@ -356,6 +359,226 @@ class CongestedClique:
             )
         )
         return deliver_array(batch)
+
+    def send_array(
+        self,
+        dests: Sequence[np.ndarray],
+        blocks: Sequence[np.ndarray],
+        *,
+        widths: Sequence[np.ndarray] | None = None,
+        tags: Sequence[np.ndarray] | None = None,
+        phase: str = "send",
+        expect_max_pair: int | None = None,
+    ) -> list[ArrayInbox]:
+        """Array-native direct exchange (the batched counterpart of :meth:`send`).
+
+        Every piece travels on its own link; the phase costs the maximum,
+        over ordered pairs, of the words that pair must carry.  Batch layout
+        and defaults are exactly as in :meth:`route_array`.
+
+        Args:
+            expect_max_pair: optional asserted bound on per-pair words, as in
+                :meth:`send`.
+        """
+        try:
+            if widths is None:
+                widths = [
+                    block_widths(np.asarray(b, dtype=np.int64), self.word_bits)
+                    for b in blocks
+                ]
+            batch = flatten_array_batch(dests, blocks, widths, tags, self.n)
+        except ValueError as exc:
+            raise CliqueModelError(str(exc)) from exc
+        profile = analyze_array(batch, with_demand=True)
+        rounds = direct_rounds(profile.demand)
+        if expect_max_pair is not None and rounds > expect_max_pair:
+            raise LoadBoundExceededError(
+                f"per-pair traffic of {rounds} words exceeds the asserted "
+                f"bound {expect_max_pair}"
+            )
+        self.meter.charge(
+            PhaseCost(
+                phase=phase,
+                primitive="send",
+                rounds=rounds,
+                words=profile.total_words,
+                payloads=profile.payloads,
+                max_send_words=profile.max_send,
+                max_recv_words=profile.max_recv,
+            )
+        )
+        return deliver_array(batch)
+
+    def scatter_blocks(
+        self,
+        blocks: np.ndarray,
+        *,
+        widths: Sequence[np.ndarray] | None = None,
+        phase: str = "scatter",
+        expect_max_load: int | None = None,
+    ) -> np.ndarray:
+        """Block all-to-all: node ``v`` ships piece ``blocks[v, j]`` to node ``j``.
+
+        The dense personalised exchange behind the bilinear engine's
+        farm-out steps: every node addresses the same ``k <= n`` receivers,
+        so destinations need not be materialised per piece and the inboxes
+        come back as one dense array.
+
+        Args:
+            blocks: ``(n, k, *piece_shape)`` int64 stack; ``blocks[v, j]``
+                is the piece node ``v`` sends to node ``j``.
+            widths: per node, ``(k,)`` words charged per piece; defaults to
+                the honest per-piece width.
+            expect_max_load: asserted per-node load bound, as in
+                :meth:`route`.
+
+        Returns:
+            ``(k, n, *piece_shape)`` with ``out[j, v] = blocks[v, j]`` --
+            receiver ``j``'s pieces indexed by sender.
+        """
+        blocks = np.ascontiguousarray(np.asarray(blocks, dtype=np.int64))
+        if blocks.ndim < 2 or blocks.shape[0] != self.n:
+            raise CliqueModelError(
+                f"scatter_blocks expects an ({self.n}, k, ...) block stack"
+            )
+        k = blocks.shape[1]
+        if not 1 <= k <= self.n:
+            raise CliqueModelError(
+                f"scatter_blocks needs 1 <= k <= n receivers, got k={k}"
+            )
+        dest_row = np.arange(k, dtype=np.int64)
+        inboxes = self.route_array(
+            [dest_row] * self.n,
+            list(blocks),
+            widths=widths,
+            phase=phase,
+            expect_max_load=expect_max_load,
+        )
+        # Every sender addresses receiver j exactly once, so inbox j holds
+        # one piece per sender in ascending sender order.
+        return np.stack([inboxes[j].blocks for j in range(k)])
+
+    def gather_blocks(
+        self,
+        blocks: np.ndarray,
+        *,
+        widths: Sequence[np.ndarray] | None = None,
+        phase: str = "gather",
+        expect_max_load: int | None = None,
+    ) -> np.ndarray:
+        """Inverse block all-to-all: node ``v < k`` ships ``blocks[v, u]`` to ``u``.
+
+        The collection half of a farm-out: ``k <= n`` worker nodes each hold
+        one piece for every node, and every node ends up with its ``k``
+        pieces indexed by worker.
+
+        Args:
+            blocks: ``(k, n, *piece_shape)`` int64 stack; ``blocks[v, u]``
+                is the piece worker ``v`` sends to node ``u``.  Nodes
+                ``>= k`` send nothing.
+            widths: per worker, ``(n,)`` words charged per piece; defaults
+                to the honest per-piece width.
+            expect_max_load: asserted per-node load bound, as in
+                :meth:`route`.
+
+        Returns:
+            ``(n, k, *piece_shape)`` with ``out[u, v] = blocks[v, u]``.
+        """
+        blocks = np.ascontiguousarray(np.asarray(blocks, dtype=np.int64))
+        if blocks.ndim < 2 or blocks.shape[1] != self.n:
+            raise CliqueModelError(
+                f"gather_blocks expects a (k, {self.n}, ...) block stack"
+            )
+        k = blocks.shape[0]
+        if not 1 <= k <= self.n:
+            raise CliqueModelError(
+                f"gather_blocks needs 1 <= k <= n senders, got k={k}"
+            )
+        piece_shape = blocks.shape[2:]
+        dest_row = np.arange(self.n, dtype=np.int64)
+        empty_dests = np.zeros(0, dtype=np.int64)
+        empty_block = np.zeros((0,) + piece_shape, dtype=np.int64)
+        dests = [dest_row] * k + [empty_dests] * (self.n - k)
+        block_list = list(blocks) + [empty_block] * (self.n - k)
+        width_list: Sequence[np.ndarray] | None = None
+        if widths is not None:
+            if len(widths) != k:
+                raise CliqueModelError(
+                    f"gather_blocks expects {k} per-sender width vectors"
+                )
+            width_list = list(widths) + [empty_dests] * (self.n - k)
+        inboxes = self.route_array(
+            dests,
+            block_list,
+            widths=width_list,
+            phase=phase,
+            expect_max_load=expect_max_load,
+        )
+        # Every node receives exactly one piece from each sender < k, in
+        # ascending sender order.
+        return np.stack([inboxes[u].blocks for u in range(self.n)])
+
+    def allgather_rows(
+        self,
+        rows_per_node: Sequence[np.ndarray],
+        *,
+        words_per_record: int = 1,
+        phase: str = "allgather",
+    ) -> np.ndarray:
+        """Array-native :meth:`allgather_records` for fixed-width int records.
+
+        Same three-phase structure (broadcast counts, route to balanced
+        holders, holders broadcast) and bit-identical charges, but records
+        are rows of one ``(R, record_width)`` int64 array instead of Python
+        objects.
+
+        Args:
+            rows_per_node: per node, an ``(r_v, record_width)`` int64 array
+                of records (``record_width`` uniform across nodes).
+            words_per_record: words charged per record, as in
+                :meth:`allgather_records`.
+
+        Returns:
+            The canonical combined ``(R, record_width)`` record array, in
+            the same deterministic order :meth:`allgather_records` produces.
+        """
+        n = self.n
+        if len(rows_per_node) != n:
+            raise CliqueModelError(f"expected {n} record arrays")
+        rows = [np.asarray(r, dtype=np.int64) for r in rows_per_node]
+        record_widths = {r.shape[1:] for r in rows}
+        if any(r.ndim != 2 for r in rows) or len(record_widths) != 1:
+            raise CliqueModelError(
+                "allgather_rows expects (r_v, record_width) arrays with a "
+                "uniform record width"
+            )
+        record_width = rows[0].shape[1]
+        counts = [int(r.shape[0]) for r in rows]
+        self.broadcast(counts, words=1, phase=f"{phase}/counts")
+        total = sum(counts)
+        if total == 0:
+            return np.zeros((0, record_width), dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        dests = [
+            (offsets[v] + np.arange(counts[v], dtype=np.int64)) % n
+            for v in range(n)
+        ]
+        widths = [
+            np.full(counts[v], words_per_record, dtype=np.int64)
+            for v in range(n)
+        ]
+        inboxes = self.route_array(
+            dests, rows, widths=widths, phase=f"{phase}/balance"
+        )
+        held = [inboxes[v].blocks for v in range(n)]
+        per_holder = math.ceil(total / n)
+        bcast_widths = [
+            min(h.shape[0], per_holder) * words_per_record for h in held
+        ]
+        if any(h.shape[0] > per_holder for h in held):
+            raise AssertionError("round-robin placement exceeded ceil(R/n)")
+        self._charge_broadcast(bcast_widths, f"{phase}/broadcast")
+        return np.concatenate(held, axis=0)
 
     def transpose_array(
         self,

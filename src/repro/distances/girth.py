@@ -15,6 +15,14 @@ diagonal entry appears and then binary-search, using ``O(log n)`` Boolean
 products in total -- ``O~(n^rho)`` rounds on the fast engine.
 
 Both return :data:`~repro.constants.INF` for acyclic inputs.
+
+Implementation note: every exchange runs on the simulator's array-native
+fast path -- the sparse branch replicates its edge list through
+:meth:`~repro.clique.model.CongestedClique.allgather_rows`, and the Boolean
+products of the directed doubling loop run through the array-native engines
+(with the semiring engines multiplying directly over the blocked Boolean
+kernel of :class:`~repro.algebra.semirings.BooleanSemiring`).  No phase
+builds per-payload tuple outboxes.
 """
 
 from __future__ import annotations
@@ -119,15 +127,28 @@ def girth_undirected(
 
 
 def _learn_graph_and_solve(clique: CongestedClique, graph: Graph) -> int:
-    """Replicate the edge list to everyone; each node solves locally."""
-    records = [
-        [(v, int(u)) for u in graph.neighbors(v) if u > v] if v < graph.n else []
-        for v in range(clique.n)
-    ]
-    all_edges = clique.allgather_records(
+    """Replicate the edge list to everyone; each node solves locally.
+
+    Runs on the array-native
+    :meth:`~repro.clique.model.CongestedClique.allgather_rows` -- edges move
+    as one ``(m, 2)`` record array instead of per-edge tuples, at the
+    bit-identical charges of ``allgather_records`` (equivalence-tested).
+    """
+    records = []
+    for v in range(clique.n):
+        if v < graph.n:
+            up = graph.neighbors(v)
+            up = up[up > v].astype(np.int64)
+        else:
+            up = np.zeros(0, dtype=np.int64)
+        rec = np.empty((up.shape[0], 2), dtype=np.int64)
+        rec[:, 0] = v
+        rec[:, 1] = up
+        records.append(rec)
+    all_edges = clique.allgather_rows(
         records, words_per_record=1, phase="girth/learn-graph"
     )
-    local = Graph.from_edges(graph.n, [(u, v) for (u, v) in all_edges])
+    local = Graph.from_edges(graph.n, all_edges)
     return girth_reference(local)
 
 

@@ -11,7 +11,10 @@ encoding: a 0/1 matrix ``B`` becomes the distance matrix ``enc(B)`` with
 and a distance-product witness is precisely a Boolean witness (an inner
 index ``k`` with ``S[u, k] = T[k, v] = 1``).  The whole Lemma 21 machinery
 (unique extraction + sampling + distributed validation) is reused verbatim
-through :func:`repro.matmul.witnesses.find_witnesses`.
+through :func:`repro.matmul.witnesses.find_witnesses` -- including its
+array-native validation exchanges and the array-native §2.2 engine
+underneath, so Boolean witness searches never build per-payload tuple
+outboxes either.
 """
 
 from __future__ import annotations

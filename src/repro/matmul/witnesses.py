@@ -19,7 +19,12 @@ paper (after Seidel [65], Zwick [76], Alon-Naor [4]):
 Candidate validation is itself distributed: checking ``S[u,w] + T[w,v] =
 P[u,v]`` needs ``T[w, v]``, which lives at node ``w``; nodes exchange
 (request, response) pairs through the router and the rounds are charged to
-the meter like everything else.
+the meter like everything else.  Both routed hops run on the simulator's
+array-native fast path (:meth:`~repro.clique.model.CongestedClique.
+route_array`): requests and responses are ``(p_v, 1)`` / ``(p_v, 2)`` index
+batches instead of per-pair Python tuples.  The tuple formulation is
+retained as :func:`validate_candidates_tuple` -- the oracle the equivalence
+tests charge both paths against.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.algebra.semirings import saturating_add
 from repro.clique.model import CongestedClique
 from repro.constants import INF
 from repro.errors import AlgorithmFailureError
@@ -81,7 +87,69 @@ def _validate_candidates(
     Node ``u`` holds rows ``s[u]``, ``p[u]`` and the candidate row; it must
     learn ``t[w, v]`` for each needed pair ``(u, v)`` with candidate ``w``.
     Two routed hops: requests ``u -> w`` carrying ``v``, responses ``w -> u``
-    carrying ``t[w, v]``.
+    carrying ``t[w, v]``.  Array-native: node ``u``'s requests are one
+    ``(p_u, 1)`` batch of column ids (one word each, like the tuple pairs),
+    responses one ``(p_w, 2)`` batch of ``(v, t[w, v])`` rows.
+    """
+    n = clique.n
+    req_dests: list[np.ndarray] = []
+    req_blocks: list[np.ndarray] = []
+    req_widths: list[np.ndarray] = []
+    for u in range(n):
+        cols = np.nonzero(needed[u])[0].astype(np.int64)
+        w_arr = candidates[u, cols]
+        keep = (w_arr >= 0) & (w_arr < n)
+        cols = cols[keep]
+        req_dests.append(w_arr[keep])
+        req_blocks.append(cols[:, None])
+        req_widths.append(np.ones(cols.shape[0], dtype=np.int64))
+    inboxes = clique.route_array(
+        req_dests, req_blocks, widths=req_widths, phase=f"{phase}/requests"
+    )
+    resp_dests: list[np.ndarray] = []
+    resp_blocks: list[np.ndarray] = []
+    resp_widths: list[np.ndarray] = []
+    for w in range(n):
+        inbox = inboxes[w]
+        v_arr = inbox.blocks[:, 0]
+        resp_dests.append(inbox.sources)
+        resp_blocks.append(np.stack([v_arr, t[w, v_arr]], axis=1))
+        resp_widths.append(np.ones(v_arr.shape[0], dtype=np.int64))
+    inboxes = clique.route_array(
+        resp_dests, resp_blocks, widths=resp_widths, phase=f"{phase}/responses"
+    )
+    ok = np.zeros_like(needed)
+    for u in range(n):
+        inbox = inboxes[u]
+        if inbox.sources.shape[0] == 0:
+            continue
+        v_arr = inbox.blocks[:, 0]
+        t_arr = inbox.blocks[:, 1]
+        w_arr = candidates[u, v_arr]
+        assert np.array_equal(w_arr, inbox.sources)
+        s_arr = s[u, w_arr]
+        good = (
+            (t_arr < INF)
+            & (s_arr < INF)
+            & (saturating_add(s_arr, t_arr) == p[u, v_arr])
+        )
+        ok[u, v_arr[good]] = True
+    return ok
+
+
+def validate_candidates_tuple(
+    clique: CongestedClique,
+    s: np.ndarray,
+    t: np.ndarray,
+    p: np.ndarray,
+    candidates: np.ndarray,
+    needed: np.ndarray,
+    phase: str,
+) -> np.ndarray:
+    """The retained per-payload tuple formulation of candidate validation.
+
+    Charges bit-identical rounds to :func:`_validate_candidates` for the
+    same instance (equivalence-tested); kept as the round-accounting oracle.
     """
     n = clique.n
     requests: list[list[tuple[int, object, int]]] = [[] for _ in range(n)]
@@ -224,4 +292,10 @@ def find_witnesses(
     return WitnessResult(witnesses=witnesses, resolved=resolved, products_used=used)
 
 
-__all__ = ["WitnessResult", "unique_witnesses", "find_witnesses", "ProductFn"]
+__all__ = [
+    "WitnessResult",
+    "unique_witnesses",
+    "find_witnesses",
+    "validate_candidates_tuple",
+    "ProductFn",
+]

@@ -21,6 +21,16 @@ A 4-cycle exists iff some pair ``x != z`` has two distinct 2-walks
    rounds), where the duplicate-pair check is local.
 
 Total: O(1) rounds regardless of ``n`` -- the flattest row of Table 1.
+
+Implementation note: the three exchanges (chunk shipping, chunk forwarding,
+walk-bundle routing) run on the simulator's array-native fast path by
+default (``engine="array"``): chunks travel as ``-1``-padded ``(p, 8)`` id
+batches through :meth:`~repro.clique.model.CongestedClique.send_array` and
+walks as ``(p, 2)`` batches through :meth:`~repro.clique.model.
+CongestedClique.route_array`, with the honest tuple-path widths charged
+explicitly.  The per-payload tuple formulation is retained under
+``engine="tuple"`` as the round-accounting oracle (bit-identical charges,
+equivalence-tested).
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from repro.graphs.graphs import Graph
 from repro.runtime import RunResult, or_broadcast
 
 _CHUNK = 8
+_PAD = -1  # chunk-slot filler in the padded array pieces (node ids are >= 0)
 
 
 @dataclass(frozen=True)
@@ -114,15 +125,210 @@ def _chunks(items: np.ndarray, parts: int) -> list[np.ndarray]:
     return [chunk for chunk in np.array_split(items, parts)]
 
 
+def _walk_check_array(
+    clique: CongestedClique,
+    graph: Graph,
+    tiles: list[Tile],
+    tile_of: dict[int, Tile],
+) -> list[bool]:
+    """Steps A/B + walk-bundle routing on the array-native fast path."""
+    cn = clique.n
+    empty_d = np.zeros(0, dtype=np.int64)
+    empty_b = np.zeros((0, _CHUNK), dtype=np.int64)
+
+    # Step A: y ships NA(y, a) to each a in A(y), as -1-padded (side, 8)
+    # chunk pieces charged at the honest chunk length.
+    dests = [empty_d] * cn
+    blocks = [empty_b] * cn
+    widths = [empty_d] * cn
+    for tile in tiles:
+        y = tile.y
+        na = _chunks(graph.neighbors(y), tile.side)
+        piece = np.full((tile.side, _CHUNK), _PAD, dtype=np.int64)
+        w = np.empty(tile.side, dtype=np.int64)
+        for idx, chunk in enumerate(na):
+            piece[idx, : len(chunk)] = chunk
+            w[idx] = max(1, len(chunk))
+        dests[y] = np.arange(tile.row_start, tile.row_start + tile.side)
+        blocks[y] = piece
+        widths[y] = w
+    inboxes = clique.send_array(
+        dests, blocks, widths=widths, phase="c4/stepA", expect_max_pair=_CHUNK
+    )
+
+    # Step B: a forwards NA(y, a) to every b in B(y), tagged with y (the
+    # sender is no longer y itself).  Tile disjointness guarantees <= one
+    # chunk per ordered pair (a, b).
+    dests = [empty_d] * cn
+    blocks = [empty_b] * cn
+    widths = [empty_d] * cn
+    tags: list[np.ndarray] = [empty_d] * cn
+    for a_node in range(cn):
+        inbox = inboxes[a_node]
+        if inbox.sources.shape[0] == 0:
+            continue
+        cols = [
+            np.arange(
+                tile_of[int(y)].col_start,
+                tile_of[int(y)].col_start + tile_of[int(y)].side,
+            )
+            for y in inbox.sources
+        ]
+        sides = np.array([c.shape[0] for c in cols], dtype=np.int64)
+        chunk_lens = (inbox.blocks != _PAD).sum(axis=1)
+        dests[a_node] = np.concatenate(cols)
+        blocks[a_node] = np.repeat(inbox.blocks, sides, axis=0)
+        widths[a_node] = np.repeat(np.maximum(1, chunk_lens + 1), sides)
+        tags[a_node] = np.repeat(inbox.sources, sides)
+    inboxes = clique.send_array(
+        dests,
+        blocks,
+        widths=widths,
+        tags=tags,
+        phase="c4/stepB",
+        expect_max_pair=_CHUNK + 1,
+    )
+
+    # Node b reassembles N(y) per tile column and forms its walk bundle
+    # W(b) = union over y of N(y) x {y} x NB(y, b).  Chunks arrive in
+    # ascending forwarder (= chunk index) order, so every b reassembles the
+    # identical N(y) ordering and the NB partition is consistent.
+    walk_x: list[np.ndarray] = [empty_d] * cn
+    walk_yz: list[np.ndarray] = [np.zeros((0, 2), dtype=np.int64)] * cn
+    for b_node in range(cn):
+        inbox = inboxes[b_node]
+        if inbox.sources.shape[0] == 0:
+            continue
+        per_y: dict[int, list[np.ndarray]] = {}
+        for idx in range(inbox.tags.shape[0]):
+            chunk = inbox.blocks[idx]
+            per_y.setdefault(int(inbox.tags[idx]), []).append(chunk[chunk != _PAD])
+        xs: list[np.ndarray] = []
+        yzs: list[np.ndarray] = []
+        for y, pieces in per_y.items():
+            neigh = np.concatenate(pieces)
+            tile = tile_of[y]
+            z_part = _chunks(neigh, tile.side)[b_node - tile.col_start]
+            if neigh.size == 0 or z_part.size == 0:
+                continue
+            xs.append(np.repeat(neigh, z_part.size))
+            yz = np.empty((neigh.size * z_part.size, 2), dtype=np.int64)
+            yz[:, 0] = y
+            yz[:, 1] = np.tile(z_part, neigh.size)
+            yzs.append(yz)
+        if xs:
+            walk_x[b_node] = np.concatenate(xs)
+            walk_yz[b_node] = np.concatenate(yzs)
+
+    # Route every 2-walk (x, y, z) to its left endpoint x; per Lemma 13 the
+    # send load is O(n) and (post-pigeonhole) the receive load is < 2n.
+    ones = [np.ones(walk_x[b].shape[0], dtype=np.int64) for b in range(cn)]
+    inboxes = clique.route_array(
+        walk_x,
+        walk_yz,
+        widths=ones,
+        phase="c4/gather-walks",
+        expect_max_load=64 * cn,
+    )
+    found = []
+    for x in range(cn):
+        z_arr = inboxes[x].blocks[:, 1] if inboxes[x].blocks.shape[0] else empty_d
+        z_arr = z_arr[z_arr != x]
+        found.append(bool(np.unique(z_arr).shape[0] < z_arr.shape[0]))
+    return found
+
+
+def _walk_check_tuple(
+    clique: CongestedClique,
+    graph: Graph,
+    tiles: list[Tile],
+    tile_of: dict[int, Tile],
+) -> list[bool]:
+    """The retained per-payload tuple formulation of the walk phases.
+
+    Charges bit-identical rounds to :func:`_walk_check_array`
+    (equivalence-tested); kept as the round-accounting oracle.
+    """
+    cn = clique.n
+
+    # Step A: y ships NA(y, a) to each a in A(y).
+    outboxes: list[list[tuple[int, object, int]]] = [[] for _ in range(cn)]
+    for tile in tiles:
+        y = tile.y
+        neigh = graph.neighbors(y)
+        na = _chunks(neigh, tile.side)
+        for a_node, chunk in zip(tile.rows, na):
+            outboxes[y].append((a_node, (y, chunk), max(1, len(chunk))))
+    inboxes = clique.send(outboxes, phase="c4/stepA", expect_max_pair=_CHUNK)
+
+    # Step B: a forwards NA(y, a) to every b in B(y).  Tile disjointness
+    # guarantees <= one (y, chunk) per ordered pair (a, b).
+    outboxes = [[] for _ in range(cn)]
+    for a_node in range(cn):
+        for _src, (y, chunk) in inboxes[a_node]:
+            tile = tile_of[y]
+            for b_node in tile.cols:
+                outboxes[a_node].append((b_node, (y, chunk), max(1, len(chunk) + 1)))
+    inboxes = clique.send(outboxes, phase="c4/stepB", expect_max_pair=_CHUNK + 1)
+
+    # Node b reassembles N(y) per tile column and forms its walk bundle
+    # W(b) = union over y of N(y) x {y} x NB(y, b).
+    walks_by_b: list[list[tuple[int, int, int]]] = [[] for _ in range(cn)]
+    for b_node in range(cn):
+        per_y: dict[int, list[np.ndarray]] = {}
+        for _src, (y, chunk) in inboxes[b_node]:
+            per_y.setdefault(y, []).append(chunk)
+        for y, pieces in per_y.items():
+            neigh = np.concatenate([p for p in pieces if len(p)]) if pieces else []
+            tile = tile_of[y]
+            nb = _chunks(np.asarray(neigh, dtype=np.int64), tile.side)
+            b_index = b_node - tile.col_start
+            z_part = nb[b_index]
+            for x in neigh:
+                for z in z_part:
+                    walks_by_b[b_node].append((int(x), y, int(z)))
+
+    # Route every 2-walk (x, y, z) to its left endpoint x; per Lemma 13 the
+    # send load is O(n) and (post-pigeonhole) the receive load is < 2n.
+    outboxes = [
+        [(x, (y, z), 1) for (x, y, z) in walks_by_b[b]] for b in range(cn)
+    ]
+    inboxes = clique.route(
+        outboxes, phase="c4/gather-walks", expect_max_load=64 * cn
+    )
+    found = []
+    for x in range(cn):
+        endpoints: set[int] = set()
+        hit = False
+        for _src, (y, z) in inboxes[x]:
+            if z == x:
+                continue
+            if z in endpoints:
+                hit = True
+                break
+            endpoints.add(z)
+        found.append(hit)
+    return found
+
+
 def detect_four_cycles(
     graph: Graph,
     *,
     clique: CongestedClique | None = None,
     mode: ScheduleMode = ScheduleMode.FAST,
+    engine: str = "array",
 ) -> RunResult:
-    """Theorem 4: 4-cycle existence in O(1) rounds."""
+    """Theorem 4: 4-cycle existence in O(1) rounds.
+
+    Args:
+        engine: ``"array"`` (default) runs the three exchanges on the
+            array-native fast path; ``"tuple"`` runs the retained
+            per-payload formulation.  Both charge identical rounds.
+    """
     if graph.directed:
         raise ValueError("Theorem 4 is stated for undirected graphs")
+    if engine not in ("array", "tuple"):
+        raise ValueError(f"unknown engine {engine!r}")
     n = graph.n
     clique = clique or CongestedClique(max(2, n), mode=mode)
     if clique.n < n:
@@ -151,63 +357,8 @@ def detect_four_cycles(
     tiles = build_tiling(degrees[:n], n)
     tile_of = {tile.y: tile for tile in tiles}
 
-    # Step A: y ships NA(y, a) to each a in A(y).
-    outboxes: list[list[tuple[int, object, int]]] = [[] for _ in range(clique.n)]
-    for tile in tiles:
-        y = tile.y
-        neigh = graph.neighbors(y)
-        na = _chunks(neigh, tile.side)
-        for a_node, chunk in zip(tile.rows, na):
-            outboxes[y].append((a_node, (y, chunk), max(1, len(chunk))))
-    inboxes = clique.send(outboxes, phase="c4/stepA", expect_max_pair=_CHUNK)
-
-    # Step B: a forwards NA(y, a) to every b in B(y).  Tile disjointness
-    # guarantees <= one (y, chunk) per ordered pair (a, b).
-    outboxes = [[] for _ in range(clique.n)]
-    for a_node in range(clique.n):
-        for _src, (y, chunk) in inboxes[a_node]:
-            tile = tile_of[y]
-            for b_node in tile.cols:
-                outboxes[a_node].append((b_node, (y, chunk), max(1, len(chunk) + 1)))
-    inboxes = clique.send(outboxes, phase="c4/stepB", expect_max_pair=_CHUNK + 1)
-
-    # Node b reassembles N(y) per tile column and forms its walk bundle
-    # W(b) = union over y of N(y) x {y} x NB(y, b).
-    walks_by_b: list[list[tuple[int, int, int]]] = [[] for _ in range(clique.n)]
-    for b_node in range(clique.n):
-        per_y: dict[int, list[np.ndarray]] = {}
-        for _src, (y, chunk) in inboxes[b_node]:
-            per_y.setdefault(y, []).append(chunk)
-        for y, pieces in per_y.items():
-            neigh = np.concatenate([p for p in pieces if len(p)]) if pieces else []
-            tile = tile_of[y]
-            nb = _chunks(np.asarray(neigh, dtype=np.int64), tile.side)
-            b_index = b_node - tile.col_start
-            z_part = nb[b_index]
-            for x in neigh:
-                for z in z_part:
-                    walks_by_b[b_node].append((int(x), y, int(z)))
-
-    # Route every 2-walk (x, y, z) to its left endpoint x; per Lemma 13 the
-    # send load is O(n) and (post-pigeonhole) the receive load is < 2n.
-    outboxes = [
-        [(x, (y, z), 1) for (x, y, z) in walks_by_b[b]] for b in range(clique.n)
-    ]
-    inboxes = clique.route(
-        outboxes, phase="c4/gather-walks", expect_max_load=64 * clique.n
-    )
-    found = []
-    for x in range(clique.n):
-        endpoints: set[int] = set()
-        hit = False
-        for _src, (y, z) in inboxes[x]:
-            if z == x:
-                continue
-            if z in endpoints:
-                hit = True
-                break
-            endpoints.add(z)
-        found.append(hit)
+    walk_check = _walk_check_array if engine == "array" else _walk_check_tuple
+    found = walk_check(clique, graph, tiles, tile_of)
     verdict = or_broadcast(clique, found, phase="c4/verdict")
     return RunResult(
         value=verdict,

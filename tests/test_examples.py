@@ -10,25 +10,36 @@ import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
+# The engine-check markers certify, in-process, that the array path's round
+# counts match the retained tuple path's (the examples assert the equality
+# and print the line; the test asserts the line appeared).
+_ENGINE_PARITY = ["engine check", "== tuple path rounds"]
+
 CASES = [
-    pytest.param("quickstart.py", ["27"], id="quickstart.py"),
+    pytest.param("quickstart.py", ["27"], [], id="quickstart.py"),
     pytest.param(
-        "social_network_triangles.py", ["36"], id="social_network_triangles.py"
+        "social_network_triangles.py",
+        ["36"],
+        _ENGINE_PARITY,
+        id="social_network_triangles.py",
     ),
-    pytest.param("road_network_apsp.py", ["3", "4"], id="road_network_apsp.py"),
+    pytest.param(
+        "road_network_apsp.py", ["3", "4"], [], id="road_network_apsp.py"
+    ),
     pytest.param(
         "girth_and_cycles.py",
         ["25"],
+        _ENGINE_PARITY,
         id="girth_and_cycles.py",
         marks=pytest.mark.slow,
     ),
-    pytest.param("scaling_study.py", ["--small"], id="scaling_study.py"),
-    pytest.param("bottleneck_routing.py", ["16"], id="bottleneck_routing.py"),
+    pytest.param("scaling_study.py", ["--small"], [], id="scaling_study.py"),
+    pytest.param("bottleneck_routing.py", ["16"], [], id="bottleneck_routing.py"),
 ]
 
 
-@pytest.mark.parametrize("script,args", CASES)
-def test_example_runs(script, args):
+@pytest.mark.parametrize("script,args,expected_markers", CASES)
+def test_example_runs(script, args, expected_markers):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / script), *args],
         capture_output=True,
@@ -37,6 +48,8 @@ def test_example_runs(script, args):
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), "examples should print their findings"
+    for marker in expected_markers:
+        assert marker in result.stdout
 
 
 def test_quickstart_reports_round_counts():
