@@ -2,10 +2,13 @@
 # from a clean checkout without an install.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-full bench perf-report bench-check table1
+.PHONY: test test-full bench perf-report bench-check shard-smoke table1
 
 test:        ## fast lane (default pytest config: -m "not slow")
 	$(PY) -m pytest -q
+
+shard-smoke: ## exercise the sharded (multiprocessing) executor end to end
+	$(PY) -m pytest tests/test_executor_equivalence.py -m slow -q
 
 test-full:   ## full suite including slow tests
 	$(PY) -m pytest -q -m ""

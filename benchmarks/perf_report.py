@@ -21,18 +21,26 @@ Times four layers and writes ``BENCH_matmul.json``:
   cube-materialising ``cube_matmul`` baseline, at ``n = 256``.
 * **Kernel gate** -- the kernel section re-run at a fixed ``n = 128`` in
   every mode, so ``make bench-check`` always has comparable kernel rows.
+* **Sessions** -- the end-to-end engine-session pipeline: exact APSP and
+  directed girth through one bound session on the serial vs the sharded
+  executor (identical rounds asserted), the packed witness kernel vs the
+  retained column-walk baseline (fixed size in every mode, gateable), and
+  the session plan cache vs per-call replanning.
 * **End to end** -- the 3D semiring engine and the APSP driver on the
   array-native messaging path, with their metered round counts, seeding the
   perf trajectory for future PRs.
 
 Timings are best-of-``reps`` wall clock; simulated round counts are
-deterministic.
+deterministic.  Shard speedups depend on available cores (the ``cpus``
+field records them) -- on a single-core box the sharded rows measure pure
+multiprocessing overhead, honestly reported.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -46,13 +54,16 @@ if str(_SRC) not in sys.path:
 import numpy as np
 
 from repro.algebra.semirings import BOOLEAN, MAX_MIN, MIN_PLUS, get_block_tile
+from repro.clique.executor import SERIAL_EXECUTOR, ShardedExecutor
 from repro.clique.model import CongestedClique
 from repro.constants import INF
 from repro.distances.apsp import apsp_exact
+from repro.distances.girth import girth_directed
 from repro.graphs.generators import random_weighted_graph
+from repro.graphs.graphs import Graph
 from repro.matmul.bilinear_clique import bilinear_matmul, bilinear_matmul_tuple
 from repro.matmul.naive import broadcast_matmul
-from repro.matmul.semiring3d import semiring_matmul
+from repro.matmul.semiring3d import cube_plan, semiring_matmul
 
 
 def _best_of(fn, reps: int) -> float:
@@ -159,6 +170,146 @@ def boolean_section(n: int, reps: int) -> dict:
     }
 
 
+def session_section(apsp_n: int, girth_n: int, shards: int, reps: int) -> dict:
+    """End-to-end engine sessions: serial vs sharded, cache vs replanning.
+
+    Every sharded run is asserted round- and value-identical to its serial
+    twin before anything is timed.  ``shard_speedup`` is serial/sharded wall
+    clock -- on a 1-core box this honestly reports the multiprocessing
+    overhead (< 1x); the executor exists for multi-core hosts.
+    """
+    section: dict[str, dict] = {}
+    cpus = os.cpu_count() or 1
+
+    # ---- exact APSP (routing tables) through one min-plus session. ----- #
+    graph = random_weighted_graph(apsp_n, 0.05, max_weight=100, seed=2)
+
+    def run_apsp(executor):
+        clique = CongestedClique(apsp_n, executor=executor)
+        return apsp_exact(graph, clique=clique)
+
+    with ShardedExecutor(shards) as sharded:
+        serial_run = run_apsp(SERIAL_EXECUTOR)
+        shard_run = run_apsp(sharded)
+        assert serial_run.rounds == shard_run.rounds
+        assert np.array_equal(serial_run.value, shard_run.value)
+        serial_s = _best_of(lambda: run_apsp(SERIAL_EXECUTOR), reps)
+        shard_s = _best_of(lambda: run_apsp(sharded), reps)
+    section["apsp_exact_session"] = {
+        "n": apsp_n,
+        "rounds": serial_run.rounds,
+        "squarings": serial_run.extras["squarings"],
+        "serial_seconds": round(serial_s, 4),
+        "sharded_seconds": round(shard_s, 4),
+        "shards": shards,
+        "cpus": cpus,
+        "shard_speedup": round(serial_s / shard_s, 2),
+    }
+
+    # ---- directed girth (Boolean doubling) through one session. -------- #
+    # A directed n-cycle: girth n, so the Corollary 16 session runs the
+    # full ~2 log n Boolean products (doubling + binary search).
+    dig = Graph.from_edges(
+        girth_n,
+        [(i, (i + 1) % girth_n) for i in range(girth_n)],
+        directed=True,
+    )
+
+    def run_girth(executor):
+        clique = CongestedClique(girth_n, executor=executor)
+        return girth_directed(dig, method="semiring", clique=clique)
+
+    with ShardedExecutor(shards) as sharded:
+        serial_run = run_girth(SERIAL_EXECUTOR)
+        shard_run = run_girth(sharded)
+        assert serial_run.rounds == shard_run.rounds
+        assert serial_run.value == shard_run.value
+        serial_s = _best_of(lambda: run_girth(SERIAL_EXECUTOR), reps)
+        shard_s = _best_of(lambda: run_girth(sharded), reps)
+    section["girth_directed_session"] = {
+        "n": girth_n,
+        "rounds": serial_run.rounds,
+        "girth": serial_run.value if serial_run.value < INF else "inf",
+        "serial_seconds": round(serial_s, 4),
+        "sharded_seconds": round(shard_s, 4),
+        "shards": shards,
+        "cpus": cpus,
+        "shard_speedup": round(serial_s / shard_s, 2),
+    }
+
+    # ---- packed witness kernel vs the retained column walk. ------------ #
+    # Fixed size in every mode so bench-check can gate it (like kernel_gate):
+    # this is the batch shape one n=512 semiring-engine squaring produces.
+    rng = np.random.default_rng(6)
+    batch, block = 512, 64
+    bx = rng.integers(0, 1000, (batch, block, block), dtype=np.int64)
+    by = rng.integers(0, 1000, (batch, block, block), dtype=np.int64)
+    bx[rng.random(bx.shape) < 0.1] = INF
+    by[rng.random(by.shape) < 0.1] = INF
+    walk = MIN_PLUS._walk_batch_with_witness(bx, by)
+    packed = MIN_PLUS.matmul_batch_with_witness(bx, by)
+    assert np.array_equal(walk[0], packed[0]) and np.array_equal(walk[1], packed[1])
+    walk_s = _best_of(lambda: MIN_PLUS._walk_batch_with_witness(bx, by), reps)
+    packed_s = _best_of(lambda: MIN_PLUS.matmul_batch_with_witness(bx, by), reps)
+    section["witness_kernel"] = {
+        "n": batch,
+        "block": block,
+        "walk_seconds": round(walk_s, 4),
+        "packed_seconds": round(packed_s, 4),
+        "speedup": round(walk_s / packed_s, 2),
+    }
+
+    # ---- session plan cache vs per-call replanning. -------------------- #
+    s = _distance_matrix(rng, apsp_n)
+    t = _distance_matrix(rng, apsp_n)
+
+    def products(replan: bool):
+        clique = CongestedClique(apsp_n)
+        for step in range(4):
+            if replan:
+                cube_plan.cache_clear()
+            semiring_matmul(clique, s, t, MIN_PLUS, phase=f"bench/{step}")
+
+    products(replan=False)  # warm
+    session_s = _best_of(lambda: products(replan=False), reps)
+    replanned_s = _best_of(lambda: products(replan=True), reps)
+    section["plan_cache"] = {
+        "n": apsp_n,
+        "products": 4,
+        "replanned_seconds": round(replanned_s, 4),
+        "session_seconds": round(session_s, 4),
+        "session_reuse_speedup": round(replanned_s / session_s, 2),
+    }
+
+    # ---- session executor reuse: persistent vs per-call worker pools. -- #
+    # A sharded session keeps one warm pool for all its squarings; code
+    # without sessions would pay pool start-up per product.
+    def pooled_products(persistent: bool):
+        if persistent:
+            with ShardedExecutor(shards) as executor:
+                clique = CongestedClique(apsp_n, executor=executor)
+                for step in range(4):
+                    semiring_matmul(clique, s, t, MIN_PLUS, phase=f"p{step}")
+        else:
+            for step in range(4):
+                with ShardedExecutor(shards) as executor:
+                    clique = CongestedClique(apsp_n, executor=executor)
+                    semiring_matmul(clique, s, t, MIN_PLUS, phase=f"p{step}")
+
+    pooled_products(True)  # warm the fork machinery
+    persistent_s = _best_of(lambda: pooled_products(True), reps)
+    per_call_s = _best_of(lambda: pooled_products(False), reps)
+    section["executor_reuse"] = {
+        "n": apsp_n,
+        "products": 4,
+        "shards": shards,
+        "per_call_pool_seconds": round(per_call_s, 4),
+        "session_pool_seconds": round(persistent_s, 4),
+        "session_reuse_speedup": round(per_call_s / persistent_s, 2),
+    }
+    return section
+
+
 def end_to_end_section(cube_n: int, apsp_n: int, naive_n: int, reps: int) -> dict:
     """Current wall-clock + round numbers for the array-native engines."""
     rng = np.random.default_rng(1)
@@ -224,7 +375,15 @@ def build_report(quick: bool) -> dict:
         # the headline kernel section already ran at 128, so reuse it.
         "kernel_gate": kernel if kernel_n == 128 else kernel_section(128, reps),
         "bilinear": bilinear_section(256, reps),
-        "boolean_product": boolean_section(256, reps),
+        # Fixed n=512 in every mode: at 256 the blocked kernel finishes in
+        # ~0.5 ms and the speedup ratio is too noisy to gate on.
+        "boolean_product": boolean_section(512, reps),
+        "sessions": session_section(
+            apsp_n=64 if quick else 512,
+            girth_n=27 if quick else 216,
+            shards=2,
+            reps=reps,
+        ),
         "end_to_end": end_to_end_section(
             cube_n=64 if quick else 512,
             apsp_n=30 if quick else 100,
@@ -235,10 +394,18 @@ def build_report(quick: bool) -> dict:
     headline = report["kernel"]["min_plus_block_product"]
     bilinear = report["bilinear"]["bilinear_engine"]
     boolean = report["boolean_product"]["boolean_block_product"]
+    witness = report["sessions"]["witness_kernel"]
     report["headline"] = {
         "minplus_block_product_speedup": headline["speedup"],
         "bilinear_engine_speedup": bilinear["speedup"],
         "boolean_block_product_speedup": boolean["speedup"],
+        "witness_kernel_speedup": witness["speedup"],
+        "session_reuse_speedup": report["sessions"]["executor_reuse"][
+            "session_reuse_speedup"
+        ],
+        "plan_cache_speedup": report["sessions"]["plan_cache"][
+            "session_reuse_speedup"
+        ],
         "target_speedup": 5.0,
         "engine_target_speedup": 3.0,
         "meets_target": headline["speedup"] >= 5.0

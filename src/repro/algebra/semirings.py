@@ -141,6 +141,36 @@ class Semiring:
         """Elementwise semiring addition."""
         raise NotImplementedError
 
+    def improves(self, challenger: np.ndarray, best: np.ndarray) -> np.ndarray:
+        """Mask of entries where ``challenger`` strictly beats ``best``.
+
+        Meaningful for selection semirings (it drives the routing-table
+        updates of the iterated-squaring closure); the default raises.
+        """
+        raise NotImplementedError(f"{self.name} has no selection order")
+
+    def matmul_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Batched block product: ``(B, m, k) x (B, k, n) -> (B, m, n)``.
+
+        Semantically ``stack([matmul(x[b], y[b]) for b])`` and guaranteed to
+        produce identical values; subclasses override with vectorised kernels
+        so the executor layer amortises the per-block Python overhead across
+        a whole engine step.  This generic fallback just loops.
+        """
+        x, y = _check_batch(x, y)
+        return np.stack([self.matmul(x[b], y[b]) for b in range(x.shape[0])])
+
+    def matmul_batch_with_witness(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`matmul_with_witness`; identical values/witnesses."""
+        x, y = _check_batch(x, y)
+        pairs = [self.matmul_with_witness(x[b], y[b]) for b in range(x.shape[0])]
+        return (
+            np.stack([p for p, _ in pairs]),
+            np.stack([w for _, w in pairs]),
+        )
+
     def zeros(self, shape: tuple[int, ...]) -> np.ndarray:
         """All-``zero_value`` matrix of the given shape."""
         return np.full(shape, self.zero_value, dtype=np.int64)
@@ -168,6 +198,36 @@ class Semiring:
         return f"Semiring({self.name})"
 
 
+def _check_batch(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if (
+        x.ndim != 3
+        or y.ndim != 3
+        or x.shape[0] != y.shape[0]
+        or x.shape[2] != y.shape[1]
+    ):
+        raise ValueError(
+            f"incompatible batch shapes {x.shape} x {y.shape} for a product"
+        )
+    return x, y
+
+
+#: Entry budget for one batched selection slab ``(B_chunk, m, tile, n)``:
+#: the batch axis is chunked so a slab stays ~1 MB of int64, keeping the
+#: vectorised kernels cache-resident at engine block sizes (measured fastest
+#: at the ``q^2 = 64`` blocks an n=512 cube product produces; larger slabs
+#: go memory-bound and lose up to 3x).
+_BATCH_SLAB_ENTRIES = 1 << 17
+
+
+def _batch_chunk(batch: int, per_block_entries: int) -> int:
+    """Blocks per chunk so a slab holds ~:data:`_BATCH_SLAB_ENTRIES`."""
+    if per_block_entries <= 0:
+        return max(1, batch)
+    return max(1, min(batch, _BATCH_SLAB_ENTRIES // max(1, per_block_entries)))
+
+
 class PlusTimesRing(Semiring):
     """The ordinary integer ring ``(Z, +, *)`` -- a ring, so §2.2 applies."""
 
@@ -177,6 +237,10 @@ class PlusTimesRing(Semiring):
 
     def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return x @ y
+
+    def matmul_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x, y = _check_batch(x, y)
+        return np.matmul(x, y)
 
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a + b
@@ -240,6 +304,29 @@ class BooleanSemiring(Semiring):
         x, y = self._check(x, y)
         values = (x[:, :, None] > 0) & (y[None, :, :] > 0)
         return values.any(axis=1).astype(np.int64)
+
+    def matmul_batch(
+        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+    ) -> np.ndarray:
+        """Batched blocked Boolean product: one BLAS call per inner tile.
+
+        The exactness argument of :meth:`matmul` is per output entry, so it
+        holds unchanged with a leading batch axis; values are identical to
+        the per-block kernel.
+        """
+        x, y = _check_batch(x, y)
+        if tile is None:
+            tile = self.BOOL_TILE
+        elif tile < 1:
+            raise ValueError(f"tile width must be positive, got {tile}")
+        k = x.shape[2]
+        acc = np.zeros((x.shape[0], x.shape[1], y.shape[2]), dtype=bool)
+        xb = (x > 0).astype(np.float32)
+        yb = (y > 0).astype(np.float32)
+        for k0 in range(0, k, tile):
+            counts = np.matmul(xb[:, :, k0 : k0 + tile], yb[:, k0 : k0 + tile, :])
+            acc |= counts > 0.5
+        return acc.astype(np.int64)
 
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return ((a + b) > 0).astype(np.int64)
@@ -338,6 +425,70 @@ class _SelectionSemiring(Semiring):
             best = self.zeros((x.shape[0], y.shape[1]))
             witness = np.zeros((x.shape[0], y.shape[1]), dtype=np.int64)
         return best, witness
+
+    def matmul_batch(
+        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+    ) -> np.ndarray:
+        """Batched tiled kernel: the per-block tile loop lifted over ``B``.
+
+        Per batch lane this performs exactly the reductions and strict
+        merges of :meth:`matmul` in the same order, so values are
+        bit-identical to the per-block kernel; the batch axis is chunked to
+        keep slab temporaries bounded.
+        """
+        x, y = _check_batch(x, y)
+        tile = _resolve_tile(tile)
+        batch, m, k = x.shape
+        n = y.shape[2]
+        out = np.empty((batch, m, n), dtype=np.int64)
+        if k == 0:
+            out[:] = self.zero_value
+            return out
+        chunk = _batch_chunk(batch, m * tile * n)
+        for b0 in range(0, batch, chunk):
+            xc = x[b0 : b0 + chunk]
+            yc = y[b0 : b0 + chunk]
+            best: np.ndarray | None = None
+            for k0 in range(0, k, tile):
+                slab = self._combine(
+                    xc[:, :, k0 : k0 + tile, None], yc[:, None, k0 : k0 + tile, :]
+                )
+                tile_best = self._reduce(slab, axis=2)
+                if best is None:
+                    best = tile_best
+                else:
+                    better = self._strictly_better(tile_best, best)
+                    np.copyto(best, tile_best, where=better)
+            out[b0 : b0 + chunk] = best
+        return out
+
+    def matmul_batch_with_witness(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched column-walk witness kernel; bit-identical to per-block.
+
+        Walks the inner dimension once for the whole batch (``k`` Python
+        iterations instead of ``B * k``), with the same strict-improvement
+        merge -- values *and* witnesses match :meth:`matmul_with_witness`
+        exactly, including tie-breaking.
+        """
+        x, y = _check_batch(x, y)
+        batch, m, k = x.shape
+        n = y.shape[2]
+        if k == 0:
+            shape = (batch, m, n)
+            return self.zeros(shape), np.zeros(shape, dtype=np.int64)
+        best = self._combine(x[:, :, 0:1], y[:, 0:1, :])
+        witness = np.zeros(best.shape, dtype=np.int64)
+        for j in range(1, k):
+            candidate = self._combine(x[:, :, j : j + 1], y[:, j : j + 1, :])
+            better = self._strictly_better(candidate, best)
+            np.copyto(best, candidate, where=better)
+            np.copyto(witness, j, where=better)
+        return best, witness
+
+    def improves(self, challenger: np.ndarray, best: np.ndarray) -> np.ndarray:
+        return self._strictly_better(challenger, best)
 
     def cube_matmul_with_witness(
         self, x: np.ndarray, y: np.ndarray
@@ -440,22 +591,143 @@ class MinPlusSemiring(_SelectionSemiring):
         if x.shape[1] == 0:
             shape = (x.shape[0], y.shape[1])
             return self.zeros(shape), np.zeros(shape, dtype=np.int64)
+        # One block is a batch of one; the batched kernel holds the packed
+        # fast path and the exact fallback chain (values and witnesses are
+        # bit-identical across all of them).
+        product, witness = self.matmul_batch_with_witness(
+            x[None], y[None], tile=tile
+        )
+        return product[0], witness[0]
+
+    def matmul_batch(
+        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+    ) -> np.ndarray:
+        x, y = _check_batch(x, y)
+        tile = _resolve_tile(tile)
+        batch, m, k = x.shape
+        n = y.shape[2]
+        if k == 0:
+            return self.zeros((batch, m, n))
+        encoded = self._penalty_encode(x, y)
+        if encoded is None:  # huge finite entries: exact saturating path
+            return super().matmul_batch(x, y, tile=tile)
+        xe, ye = encoded
+        out = np.empty((batch, m, n), dtype=np.int64)
+        chunk = _batch_chunk(batch, m * tile * n)
+        for b0 in range(0, batch, chunk):
+            xc = xe[b0 : b0 + chunk]
+            yc = ye[b0 : b0 + chunk]
+            best: np.ndarray | None = None
+            for k0 in range(0, k, tile):
+                slab = (
+                    xc[:, :, k0 : k0 + tile, None]
+                    + yc[:, None, k0 : k0 + tile, :]
+                )
+                tile_best = slab.min(axis=2)
+                if best is None:
+                    best = tile_best
+                else:
+                    np.minimum(best, tile_best, out=best)
+            out[b0 : b0 + chunk] = best
+        np.copyto(out, INF, where=out >= self._INF_THRESHOLD)
+        return out
+
+    def _pack_parameters(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int, int, int] | None:
+        """Offsets/penalty/shift for the packed witness kernel, or ``None``.
+
+        The packed kernel turns the witness product into a *plain* tiled min
+        over ``(sum << kbits) | j`` values: the minimum simultaneously
+        selects the smallest sum and, on ties, the smallest inner index --
+        exactly the tie-breaking of the column-walk and cube kernels.  For
+        that to be exact in ``int64`` we need head-room: with finite
+        entries bounded by ``F`` in magnitude, entries are shifted by ``+F``
+        (so encoded sums are non-negative, ``<= 4F``), infinities become a
+        penalty ``P > 4F`` (any combo involving one lands ``>= P``, double
+        penalties at ``2P``), and ``2P << kbits`` must stay below ``2^62``.
+        Falls back to ``None`` (column walk) outside that range.
+        """
+        k = x.shape[-1]
+        kbits = max(0, (k - 1).bit_length())
+        finite_bound = 0
+        for mat in (x, y):
+            if mat.size == 0:
+                continue
+            finite = np.where(mat >= INF, 0, mat)
+            finite_bound = max(finite_bound, int(np.max(np.abs(finite))))
+        penalty = 1 << max(3, (4 * finite_bound).bit_length())
+        if 2 * penalty >= 1 << (62 - kbits):
+            return None
+        xs = np.where(x >= INF, penalty, x + finite_bound)
+        ys = np.where(y >= INF, penalty, y + finite_bound)
+        return xs, ys, kbits, penalty, finite_bound
+
+    def matmul_batch_with_witness(
+        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x, y = _check_batch(x, y)
+        tile = _resolve_tile(tile)
+        batch, m, k = x.shape
+        n = y.shape[2]
+        if k == 0:
+            shape = (batch, m, n)
+            return self.zeros(shape), np.zeros(shape, dtype=np.int64)
+        packed = self._pack_parameters(x, y)
+        if packed is None:  # huge entries: exact column walk
+            return self._walk_batch_with_witness(x, y)
+        xs, ys, kbits, penalty, offset = packed
+        j_tags = np.arange(k, dtype=np.int64)
+        out = np.empty((batch, m, n), dtype=np.int64)
+        chunk = _batch_chunk(batch, m * tile * n)
+        for b0 in range(0, batch, chunk):
+            xc = xs[b0 : b0 + chunk]
+            yc = ys[b0 : b0 + chunk]
+            best: np.ndarray | None = None
+            for k0 in range(0, k, tile):
+                slab = (
+                    xc[:, :, k0 : k0 + tile, None]
+                    + yc[:, None, k0 : k0 + tile, :]
+                )
+                slab <<= kbits
+                slab += j_tags[k0 : k0 + tile, None]
+                tile_best = slab.min(axis=2)
+                if best is None:
+                    best = tile_best
+                else:
+                    np.minimum(best, tile_best, out=best)
+            out[b0 : b0 + chunk] = best
+        witness = out & ((1 << kbits) - 1)
+        out >>= kbits
+        # Encoded sums carry a 2*offset shift; restore it, then restore INF
+        # saturation (any combo involving an encoded infinity is >= penalty)
+        # with the all-infinite witness convention (index 0).
+        saturated = out >= penalty
+        out -= 2 * offset
+        np.copyto(out, INF, where=saturated)
+        np.copyto(witness, 0, where=saturated)
+        return out, witness
+
+    def _walk_batch_with_witness(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Penalty-encoded column walk (the pre-packing batched kernel)."""
         encoded = self._penalty_encode(x, y)
         if encoded is None:
-            return super().matmul_with_witness(x, y, tile=tile)
+            return _SelectionSemiring.matmul_batch_with_witness(self, x, y)
         xe, ye = encoded
-        k = x.shape[1]
-        best = xe[:, 0:1] + ye[0]
+        k = x.shape[2]
+        best = xe[:, :, 0:1] + ye[:, 0:1, :]
         witness = np.zeros(best.shape, dtype=np.int64)
+        candidate = np.empty_like(best)
+        better = np.empty(best.shape, dtype=bool)
         for j in range(1, k):
-            candidate = xe[:, j : j + 1] + ye[j]
-            better = candidate < best
+            np.add(xe[:, :, j : j + 1], ye[:, j : j + 1, :], out=candidate)
+            np.less(candidate, best, out=better)
             np.copyto(best, candidate, where=better)
             np.copyto(witness, j, where=better)
-        # Saturated entries: every combo was infinite (encoded combos all
-        # compare above every finite sum, so a finite combo would have won).
-        # Restore INF, and witness 0 -- the index a global argmin over the
-        # all-INF row of exact sums would report.
+        # Same saturation restore as the per-block fast path: all-infinite
+        # rows decode to (INF, witness 0).
         saturated = best >= self._INF_THRESHOLD
         np.copyto(best, INF, where=saturated)
         np.copyto(witness, 0, where=saturated)
@@ -530,6 +802,23 @@ MAX_MIN = MaxMinSemiring()
 
 ALL_SEMIRINGS: tuple[Semiring, ...] = (PLUS_TIMES, BOOLEAN, MIN_PLUS, MAX_MIN)
 
+_SEMIRINGS_BY_NAME: dict[str, Semiring] = {s.name: s for s in ALL_SEMIRINGS}
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look a semiring singleton up by its ``name``.
+
+    Worker processes of the sharded executor resolve semirings by name
+    instead of unpickling instances, so every process computes with the
+    exact same singleton (and its module-level tile configuration).
+    """
+    try:
+        return _SEMIRINGS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r} (known: {sorted(_SEMIRINGS_BY_NAME)})"
+        ) from None
+
 
 def reference_matmul(semiring: Semiring, s: np.ndarray, t: np.ndarray) -> np.ndarray:
     """Centralised single-shot semiring product, used as a test oracle.
@@ -558,6 +847,7 @@ __all__ = [
     "MIN_PLUS",
     "MAX_MIN",
     "ALL_SEMIRINGS",
+    "get_semiring",
     "reference_matmul",
     "saturating_add",
     "get_block_tile",

@@ -23,7 +23,7 @@ import sys
 import numpy as np
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
+def _cmd_table1(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.analysis import format_table1, run_table1
 
     reports = run_table1(scale="full" if args.full else "quick", seed=args.seed)
@@ -31,38 +31,49 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_matmul(args: argparse.Namespace) -> int:
-    from repro.matmul.bilinear_clique import bilinear_matmul, default_algorithm
-    from repro.matmul.naive import broadcast_matmul
-    from repro.matmul.semiring3d import semiring_matmul
-    from repro.runtime import make_clique, pad_matrix
+def _make_clique(parser: argparse.ArgumentParser, args: argparse.Namespace, n: int):
+    """Build the (possibly sharded) clique for a command, or die with usage.
+
+    Centralises the ``--engine`` / ``--shards`` wiring: the clique is sized
+    for the chosen engine and carries the serial or sharded local-compute
+    executor the engine sessions run on.
+    """
+    from repro.runtime import make_clique
+
+    shards = getattr(args, "shards", 1)
+    try:
+        return make_clique(n, args.engine, shards=shards)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+def _cmd_matmul(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.runtime import EngineSession, pad_matrix
 
     rng = np.random.default_rng(args.seed)
     n = args.n
     s = rng.integers(-9, 10, (n, n), dtype=np.int64)
     t = rng.integers(-9, 10, (n, n), dtype=np.int64)
-    clique = make_clique(n, args.engine)
+    clique = _make_clique(parser, args, n)
+    session = EngineSession(clique, args.engine)
     sp, tp = pad_matrix(s, clique.n), pad_matrix(t, clique.n)
-    if args.engine == "semiring":
-        product = semiring_matmul(clique, sp, tp)
-    elif args.engine == "bilinear":
-        product = bilinear_matmul(clique, sp, tp, default_algorithm(clique.n))
-    else:
-        product = broadcast_matmul(clique, sp, tp)
+    product = session.multiply(sp, tp, phase="cli/matmul")
     ok = np.array_equal(product[:n, :n], s @ t)
     print(f"engine={args.engine} n={n} clique={clique.n} "
+          f"shards={clique.executor.shards} "
           f"rounds={clique.rounds} correct={ok}")
     print(clique.meter.report())
     return 0 if ok else 1
 
 
-def _cmd_triangles(args: argparse.Namespace) -> int:
+def _cmd_triangles(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.baselines import dolev_triangle_count
     from repro.graphs import gnp_random_graph, triangle_count_reference
     from repro.subgraphs import count_triangles
 
     g = gnp_random_graph(args.n, args.p, seed=args.seed)
-    ours = count_triangles(g, method=args.engine)
+    clique = _make_clique(parser, args, args.n)
+    ours = count_triangles(g, method=args.engine, clique=clique)
     print(f"G(n={args.n}, p={args.p}) seed={args.seed}: "
           f"{ours.value} triangles in {ours.rounds} rounds "
           f"({args.engine} engine, clique {ours.clique_size})")
@@ -75,7 +86,7 @@ def _cmd_triangles(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _cmd_four_cycles(args: argparse.Namespace) -> int:
+def _cmd_four_cycles(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.baselines import dolev_four_cycle_detect
     from repro.graphs import bipartite_random_graph, four_cycle_count_reference
     from repro.subgraphs import detect_four_cycles
@@ -93,7 +104,7 @@ def _cmd_four_cycles(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _cmd_apsp(args: argparse.Namespace) -> int:
+def _cmd_apsp(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.distances import apsp_approx, apsp_exact, apsp_unweighted
     from repro.graphs import (
         apsp_reference,
@@ -101,15 +112,35 @@ def _cmd_apsp(args: argparse.Namespace) -> int:
         random_weighted_digraph,
     )
 
+    # Resolve the engine/variant binding before touching any simulator:
+    # exact APSP multiplies over min-plus, which the bilinear engine cannot
+    # (Theorem 1 restricts it to rings); the approximate variant *is* the
+    # bilinear ring embedding, so it accepts no other engine.
+    defaults = {"exact": "semiring", "unweighted": "bilinear", "approx": "bilinear"}
+    engine = args.engine or defaults[args.variant]
+    if args.variant == "exact" and engine == "bilinear":
+        parser.error(
+            "apsp --variant exact needs a selection-semiring engine "
+            "(--engine semiring or naive); the bilinear engine only "
+            "multiplies over rings (use --variant approx for Lemma 20)"
+        )
+    if args.variant == "approx" and engine != "bilinear":
+        parser.error(
+            "apsp --variant approx runs on the bilinear ring engine only "
+            "(drop --engine or pass --engine bilinear)"
+        )
+    args.engine = engine
+    clique = _make_clique(parser, args, args.n)
+
     if args.variant == "unweighted":
         g = gnp_random_graph(args.n, 0.25, seed=args.seed)
-        result = apsp_unweighted(g)
+        result = apsp_unweighted(g, method=engine, clique=clique)
     elif args.variant == "approx":
         g = random_weighted_digraph(args.n, 0.35, args.max_weight, seed=args.seed)
-        result = apsp_approx(g, delta=args.delta)
+        result = apsp_approx(g, delta=args.delta, clique=clique)
     else:
         g = random_weighted_digraph(args.n, 0.35, args.max_weight, seed=args.seed)
-        result = apsp_exact(g)
+        result = apsp_exact(g, method=engine, clique=clique)
     print(f"APSP variant={args.variant} n={args.n}: {result.rounds} rounds "
           f"on a {result.clique_size}-node clique")
     reference = apsp_reference(g)
@@ -129,7 +160,7 @@ def _cmd_apsp(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _cmd_girth(args: argparse.Namespace) -> int:
+def _cmd_girth(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.distances import girth_directed, girth_undirected
     from repro.graphs import (
         cycle_with_trees,
@@ -145,16 +176,49 @@ def _cmd_girth(args: argparse.Namespace) -> int:
     else:
         g = gnp_random_graph(args.n, 0.15, seed=args.seed, directed=True)
     rng = np.random.default_rng(args.seed)
+    clique = _make_clique(parser, args, args.n)
     if g.directed:
-        result = girth_directed(g)
+        result = girth_directed(g, method=args.engine, clique=clique)
         branch = "directed"
     else:
-        result = girth_undirected(g, trials_per_k=args.trials, rng=rng)
+        result = girth_undirected(
+            g, method=args.engine, clique=clique,
+            trials_per_k=args.trials, rng=rng,
+        )
         branch = result.extras["branch"]
     ok = result.value == girth_reference(g)
     print(f"family={args.family} n={args.n}: girth={result.value} "
           f"[{result.rounds} rounds, branch={branch}, verified={ok}]")
     return 0 if ok else 1
+
+
+def _add_engine_flags(
+    p: argparse.ArgumentParser,
+    *,
+    default: str | None = "bilinear",
+) -> None:
+    """The shared ``--engine`` / ``--shards`` pair, wired to engine sessions.
+
+    ``--shards N`` runs the simulator's local block products on ``N`` worker
+    processes (shared-memory sharded executor); answers and round charges
+    are identical to the serial default, only wall clock changes.  ``N``
+    must not exceed the clique size (each shard owns a node range).
+    """
+    p.add_argument(
+        "--engine",
+        choices=["semiring", "bilinear", "naive"],
+        default=default,
+        help="matmul engine the session binds (default: %(default)s)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="local-compute worker processes, 1 <= N <= clique size "
+        "(default: serial; the naive engine's single block product "
+        "has nothing to shard)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,29 +231,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="print the consolidated measured Table 1")
     p.add_argument("--full", action="store_true")
-    p.set_defaults(func=_cmd_table1)
+    p.set_defaults(func=_cmd_table1, parser=p)
 
     p = sub.add_parser("matmul", help="one distributed matrix product")
     p.add_argument("n", type=int)
-    p.add_argument(
-        "--engine", choices=["semiring", "bilinear", "naive"], default="bilinear"
-    )
-    p.set_defaults(func=_cmd_matmul)
+    _add_engine_flags(p)
+    p.set_defaults(func=_cmd_matmul, parser=p)
 
     p = sub.add_parser("triangles", help="triangle counting on G(n, p)")
     p.add_argument("n", type=int)
     p.add_argument("--p", type=float, default=0.3)
-    p.add_argument(
-        "--engine", choices=["semiring", "bilinear", "naive"], default="bilinear"
-    )
+    _add_engine_flags(p)
     p.add_argument("--baseline", action="store_true", help="also run Dolev et al.")
-    p.set_defaults(func=_cmd_triangles)
+    p.set_defaults(func=_cmd_triangles, parser=p)
 
     p = sub.add_parser("four-cycles", help="O(1)-round 4-cycle detection")
     p.add_argument("n", type=int)
     p.add_argument("--degree", type=float, default=4.0)
     p.add_argument("--baseline", action="store_true")
-    p.set_defaults(func=_cmd_four_cycles)
+    p.set_defaults(func=_cmd_four_cycles, parser=p)
 
     p = sub.add_parser("apsp", help="all-pairs shortest paths")
     p.add_argument("n", type=int)
@@ -198,7 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-weight", type=int, default=9)
     p.add_argument("--delta", type=float, default=0.3)
-    p.set_defaults(func=_cmd_apsp)
+    # Engine default depends on the variant (exact -> semiring,
+    # unweighted/approx -> bilinear); resolved in _cmd_apsp.
+    _add_engine_flags(p, default=None)
+    p.set_defaults(func=_cmd_apsp, parser=p)
 
     p = sub.add_parser("girth", help="girth computation")
     p.add_argument("n", type=int)
@@ -207,14 +270,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--girth", type=int, default=7)
     p.add_argument("--trials", type=int, default=10)
-    p.set_defaults(func=_cmd_girth)
+    _add_engine_flags(p)
+    p.set_defaults(func=_cmd_girth, parser=p)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    return args.func(args, args.parser)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

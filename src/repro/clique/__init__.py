@@ -8,6 +8,13 @@ Koenig edge colouring) that every algorithm in the reproduction runs on.
 """
 
 from repro.clique.accounting import CostMeter, PhaseCost
+from repro.clique.executor import (
+    SERIAL_EXECUTOR,
+    LocalExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    make_executor,
+)
 from repro.clique.messages import (
     default_word_bits,
     int_bits,
@@ -21,6 +28,11 @@ __all__ = [
     "ScheduleMode",
     "CostMeter",
     "PhaseCost",
+    "LocalExecutor",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "SERIAL_EXECUTOR",
+    "make_executor",
     "default_word_bits",
     "int_bits",
     "words_for_array",

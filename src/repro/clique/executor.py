@@ -1,0 +1,360 @@
+"""Pluggable local-compute executors for the congested-clique simulator.
+
+The simulator separates two costs: *communication* (metered in rounds by
+:class:`~repro.clique.model.CongestedClique`) and *local computation* (the
+per-node block products every matmul engine performs between exchanges,
+which dominate the simulator's wall clock).  This module makes the latter a
+pluggable backend:
+
+* :class:`SerialExecutor` -- today's behaviour: all per-node block products
+  run in-process, as one batched kernel call (see
+  :meth:`~repro.algebra.semirings.Semiring.matmul_batch`).
+* :class:`ShardedExecutor` -- partitions the per-node batch into contiguous
+  **node ranges** and farms each range out to a worker process.  Operands
+  and results move through ``multiprocessing.shared_memory`` ``int64``
+  blocks, so nothing but a few names and shapes is ever pickled.
+
+Because an executor only computes *local* block products -- deterministic,
+exact functions of their int64 inputs -- both backends produce bit-identical
+values, and therefore bit-identical message widths and round charges, for
+every engine phase (equivalence-tested in
+``tests/test_executor_equivalence.py``).  Sharding exists purely to spread
+the simulator's local arithmetic over cores so large-``n`` engine runs fit
+wall-clock budgets.
+
+Workers resolve semirings and rings from their registry *names*
+(:func:`repro.algebra.semirings.get_semiring`,
+:func:`repro.matmul.ringops.get_ring`), so every process computes with the
+same singletons regardless of start method (``fork`` where available,
+``spawn`` otherwise).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import weakref
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.algebra.semirings import Semiring, get_semiring
+
+if TYPE_CHECKING:  # deferred at runtime: repro.matmul imports this package
+    from repro.matmul.ringops import RingOps
+
+
+class LocalExecutor:
+    """Interface: batched local block products for the matmul engines.
+
+    ``lefts`` and ``rights`` are ``(B, ...)`` int64 stacks -- one block pair
+    per node (or per bilinear worker); implementations return the stacked
+    products in the same order.  Values must be bit-identical across
+    implementations (the engines derive message widths from them).
+    """
+
+    name = "abstract"
+    shards = 1
+
+    def semiring_products(
+        self,
+        semiring: Semiring,
+        lefts: np.ndarray,
+        rights: np.ndarray,
+        *,
+        with_witnesses: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """``(B, m, k) x (B, k, n) -> (B, m, n)`` products (+ witnesses)."""
+        raise NotImplementedError
+
+    def ring_products(
+        self, ring: RingOps, lefts: np.ndarray, rights: np.ndarray
+    ) -> np.ndarray:
+        """Stacked ring block products (trailing ring axes supported)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (no-op for in-process executors)."""
+
+    def __enter__(self) -> "LocalExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(shards={self.shards})"
+
+
+class SerialExecutor(LocalExecutor):
+    """In-process backend: one batched kernel call, no worker processes."""
+
+    name = "serial"
+    shards = 1
+
+    def semiring_products(
+        self,
+        semiring: Semiring,
+        lefts: np.ndarray,
+        rights: np.ndarray,
+        *,
+        with_witnesses: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        if with_witnesses:
+            return semiring.matmul_batch_with_witness(lefts, rights)
+        return semiring.matmul_batch(lefts, rights)
+
+    def ring_products(
+        self, ring: RingOps, lefts: np.ndarray, rights: np.ndarray
+    ) -> np.ndarray:
+        return ring.matmul_batch(lefts, rights)
+
+
+#: Process-wide default executor (what a bare ``CongestedClique`` uses).
+SERIAL_EXECUTOR = SerialExecutor()
+
+
+def shard_ranges(batch: int, shards: int) -> list[tuple[int, int]]:
+    """Partition ``range(batch)`` into ``<= shards`` contiguous node ranges."""
+    if batch < 0 or shards < 1:
+        raise ValueError(f"need batch >= 0 and shards >= 1, got {batch}/{shards}")
+    shards = min(shards, batch) or 1
+    bounds = [batch * i // shards for i in range(shards + 1)]
+    return [
+        (bounds[i], bounds[i + 1])
+        for i in range(shards)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def _attach(name: str, shape: tuple[int, ...]):
+    # Pool workers share the parent's resource tracker (both fork and
+    # spawn), so the attach-side registration dedupes against the parent's
+    # create-side one and the parent's ``unlink`` retires it exactly once.
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+
+
+def _semiring_shard(task) -> None:
+    """Worker: compute one node range of a batched semiring product."""
+    (
+        semiring_name,
+        with_witnesses,
+        names,
+        left_shape,
+        right_shape,
+        out_shape,
+        lo,
+        hi,
+    ) = task
+    semiring = get_semiring(semiring_name)
+    handles = []
+    try:
+        shm_l, lefts = _attach(names[0], left_shape)
+        handles.append(shm_l)
+        shm_r, rights = _attach(names[1], right_shape)
+        handles.append(shm_r)
+        shm_o, out = _attach(names[2], out_shape)
+        handles.append(shm_o)
+        if with_witnesses:
+            shm_w, wit = _attach(names[3], out_shape)
+            handles.append(shm_w)
+            p, w = semiring.matmul_batch_with_witness(lefts[lo:hi], rights[lo:hi])
+            out[lo:hi] = p
+            wit[lo:hi] = w
+        else:
+            out[lo:hi] = semiring.matmul_batch(lefts[lo:hi], rights[lo:hi])
+    finally:
+        for shm in handles:
+            shm.close()
+
+
+def _ring_shard(task) -> None:
+    """Worker: compute one node range of a batched ring product."""
+    from repro.matmul.ringops import get_ring
+
+    ring_name, names, left_shape, right_shape, out_shape, lo, hi = task
+    ring = get_ring(ring_name)
+    handles = []
+    try:
+        shm_l, lefts = _attach(names[0], left_shape)
+        handles.append(shm_l)
+        shm_r, rights = _attach(names[1], right_shape)
+        handles.append(shm_r)
+        shm_o, out = _attach(names[2], out_shape)
+        handles.append(shm_o)
+        out[lo:hi] = ring.matmul_batch(lefts[lo:hi], rights[lo:hi])
+    finally:
+        for shm in handles:
+            shm.close()
+
+
+def _terminate_pool(pool) -> None:
+    pool.terminate()
+    pool.join()
+
+
+class ShardedExecutor(LocalExecutor):
+    """Multiprocessing backend: node ranges fan out to worker processes.
+
+    Args:
+        shards: number of worker processes (``>= 1``).  Each call partitions
+            its batch into ``min(shards, batch)`` contiguous node ranges.
+        start_method: multiprocessing start method; defaults to ``fork``
+            where the platform offers it (cheap, inherits the loaded
+            NumPy), ``spawn`` otherwise.
+
+    The worker pool is created lazily on first use and persists across
+    calls -- an :class:`~repro.engine.EngineSession` therefore pays the
+    process start-up cost once for all ``ceil(log n)`` squarings.  Call
+    :meth:`close` (or use the executor as a context manager) to release the
+    workers; a finalizer tears them down at garbage collection otherwise.
+    """
+
+    name = "sharded"
+
+    def __init__(self, shards: int, *, start_method: str | None = None) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = mp.get_context(start_method)
+        self._pool = None
+        self._finalizer: weakref.finalize | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._context.Pool(processes=self.shards)
+            self._finalizer = weakref.finalize(
+                self, _terminate_pool, self._pool
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._pool = None
+
+    @staticmethod
+    def _share(arr: np.ndarray, segments: list) -> tuple[str, tuple[int, ...]]:
+        shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        segments.append(shm)
+        np.ndarray(arr.shape, dtype=np.int64, buffer=shm.buf)[:] = arr
+        return shm.name, arr.shape
+
+    @staticmethod
+    def _alloc(shape: tuple[int, ...], segments: list) -> tuple[str, np.ndarray]:
+        nbytes = int(np.prod(shape)) * 8
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        segments.append(shm)
+        return shm.name, np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+
+    @staticmethod
+    def _release(segments: Sequence[shared_memory.SharedMemory]) -> None:
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    # ------------------------------------------------------------------ #
+
+    def semiring_products(
+        self,
+        semiring: Semiring,
+        lefts: np.ndarray,
+        rights: np.ndarray,
+        *,
+        with_witnesses: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        lefts = np.ascontiguousarray(np.asarray(lefts, dtype=np.int64))
+        rights = np.ascontiguousarray(np.asarray(rights, dtype=np.int64))
+        batch = lefts.shape[0]
+        out_shape = (batch, lefts.shape[1], rights.shape[2])
+        if batch < 2 or self.shards < 2 or 0 in out_shape or lefts.size == 0:
+            # Nothing to fan out; the batched kernel is already one call.
+            return SERIAL_EXECUTOR.semiring_products(
+                semiring, lefts, rights, with_witnesses=with_witnesses
+            )
+        segments: list[shared_memory.SharedMemory] = []
+        try:
+            l_name, l_shape = self._share(lefts, segments)
+            r_name, r_shape = self._share(rights, segments)
+            o_name, out = self._alloc(out_shape, segments)
+            names = [l_name, r_name, o_name]
+            wit = None
+            if with_witnesses:
+                w_name, wit = self._alloc(out_shape, segments)
+                names.append(w_name)
+            tasks = [
+                (
+                    semiring.name,
+                    with_witnesses,
+                    names,
+                    l_shape,
+                    r_shape,
+                    out_shape,
+                    lo,
+                    hi,
+                )
+                for lo, hi in shard_ranges(batch, self.shards)
+            ]
+            self._ensure_pool().map(_semiring_shard, tasks, chunksize=1)
+            if with_witnesses:
+                return out.copy(), wit.copy()
+            return out.copy()
+        finally:
+            self._release(segments)
+
+    def ring_products(
+        self, ring: RingOps, lefts: np.ndarray, rights: np.ndarray
+    ) -> np.ndarray:
+        lefts = np.ascontiguousarray(np.asarray(lefts, dtype=np.int64))
+        rights = np.ascontiguousarray(np.asarray(rights, dtype=np.int64))
+        batch = lefts.shape[0]
+        if batch < 2 or self.shards < 2 or lefts.size == 0 or rights.size == 0:
+            return SERIAL_EXECUTOR.ring_products(ring, lefts, rights)
+        trailing = ring.out_trailing(lefts[0], rights[0])
+        rows = lefts.shape[1]
+        cols = rights.shape[2]
+        out_shape = (batch, rows, cols) + trailing
+        if 0 in out_shape:
+            return SERIAL_EXECUTOR.ring_products(ring, lefts, rights)
+        segments: list[shared_memory.SharedMemory] = []
+        try:
+            l_name, l_shape = self._share(lefts, segments)
+            r_name, r_shape = self._share(rights, segments)
+            o_name, out = self._alloc(out_shape, segments)
+            tasks = [
+                (ring.name, [l_name, r_name, o_name], l_shape, r_shape, out_shape, lo, hi)
+                for lo, hi in shard_ranges(batch, self.shards)
+            ]
+            self._ensure_pool().map(_ring_shard, tasks, chunksize=1)
+            return out.copy()
+        finally:
+            self._release(segments)
+
+
+def make_executor(shards: int = 1) -> LocalExecutor:
+    """The executor for a shard count: serial for 1, sharded above."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return SERIAL_EXECUTOR
+    return ShardedExecutor(shards)
+
+
+__all__ = [
+    "LocalExecutor",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "SERIAL_EXECUTOR",
+    "make_executor",
+    "shard_ranges",
+]

@@ -45,6 +45,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.clique.accounting import CostMeter, PhaseCost
+from repro.clique.executor import SERIAL_EXECUTOR, LocalExecutor
 from repro.clique.messages import (
     block_widths,
     default_word_bits,
@@ -52,11 +53,13 @@ from repro.clique.messages import (
 )
 from repro.clique.routing import (
     ArrayInbox,
+    FlatInboxes,
     Outboxes,
     analyze,
     analyze_array,
     deliver,
     deliver_array,
+    deliver_array_flat,
     enforce_load_bound,
     flatten_array_batch,
 )
@@ -90,6 +93,10 @@ class CongestedClique:
         word_bits: message word size in bits; defaults to
             ``max(16, 2 ceil(log2 n))`` -- the model's ``Theta(log n)``.
         mode: schedule mode for :meth:`route` (FAST or EXACT).
+        executor: the :class:`~repro.clique.executor.LocalExecutor` engines
+            run their per-node block products on; defaults to the serial
+            in-process backend.  Executors never touch the meter, so the
+            backend choice cannot change round charges.
 
     Attributes:
         meter: the :class:`~repro.clique.accounting.CostMeter` accumulating
@@ -102,6 +109,7 @@ class CongestedClique:
         *,
         word_bits: int | None = None,
         mode: ScheduleMode = ScheduleMode.FAST,
+        executor: "LocalExecutor | None" = None,
     ) -> None:
         if n < 2:
             raise CliqueModelError(f"a congested clique needs >= 2 nodes, got {n}")
@@ -111,6 +119,7 @@ class CongestedClique:
             raise CliqueModelError(f"word size must be positive, got {self.word_bits}")
         self.mode = mode
         self.meter = CostMeter()
+        self.executor = executor if executor is not None else SERIAL_EXECUTOR
 
     # ------------------------------------------------------------------ #
     # Primitives
@@ -305,7 +314,8 @@ class CongestedClique:
         tags: Sequence[np.ndarray] | None = None,
         phase: str = "route",
         expect_max_load: int | None = None,
-    ) -> list[ArrayInbox]:
+        flat: bool = False,
+    ) -> list[ArrayInbox] | FlatInboxes:
         """Array-native Lenzen-routed exchange.
 
         The batched counterpart of :meth:`route`: node ``v`` ships the
@@ -325,11 +335,16 @@ class CongestedClique:
                 each piece (uncharged, like tuple-path headers).
             expect_max_load: asserted per-node load bound, as in
                 :meth:`route`.
+            flat: return one destination-sorted
+                :class:`~repro.clique.routing.FlatInboxes` batch instead of
+                a per-node inbox list (same contents, no per-node
+                restacking; what the engine hot paths consume).
 
         Returns:
             Per destination node, an
             :class:`~repro.clique.routing.ArrayInbox` with pieces ordered by
-            sender id then emission order.
+            sender id then emission order -- or the equivalent
+            :class:`~repro.clique.routing.FlatInboxes` when ``flat`` is set.
         """
         try:
             if widths is None:
@@ -358,7 +373,7 @@ class CongestedClique:
                 max_recv_words=profile.max_recv,
             )
         )
-        return deliver_array(batch)
+        return deliver_array_flat(batch) if flat else deliver_array(batch)
 
     def send_array(
         self,

@@ -136,6 +136,46 @@ class ArrayBatch:
         return int(self.src.shape[0])
 
 
+def _flatten_uniform(
+    dests: np.ndarray,
+    blocks: np.ndarray,
+    widths: np.ndarray,
+    tags: np.ndarray | None,
+    n: int,
+) -> ArrayBatch:
+    """Zero-copy flatten for the uniform case: every node sends ``p`` pieces.
+
+    When the caller already holds whole-exchange ``(n, p, ...)`` arrays (the
+    matmul engines do -- their exchange shapes are input-independent), the
+    batch is a reshape, not a concatenation; contents and accounting are
+    identical to the general path.
+    """
+    p = dests.shape[1]
+    if blocks.shape[:2] != (n, p) or widths.shape != (n, p):
+        raise ValueError("uniform batch: dests/blocks/widths disagree on shape")
+    if tags is not None and tags.shape != (n, p):
+        raise ValueError("uniform batch: tags disagree with dests on shape")
+    dst = np.ascontiguousarray(dests, dtype=np.int64).reshape(-1)
+    width_vec = np.ascontiguousarray(widths, dtype=np.int64).reshape(-1)
+    block_mat = np.ascontiguousarray(blocks, dtype=np.int64).reshape(
+        (n * p,) + blocks.shape[2:]
+    )
+    tag_vec = (
+        np.ascontiguousarray(tags, dtype=np.int64).reshape(-1)
+        if tags is not None
+        else None
+    )
+    src = np.repeat(np.arange(n, dtype=np.int64), p)
+    if dst.size:
+        if int(dst.min()) < 0 or int(dst.max()) >= n:
+            raise ValueError("array batch destination out of range")
+        if np.any(width_vec[dst != src] <= 0):
+            raise ValueError("non-positive word count in array batch")
+    return ArrayBatch(
+        n=n, src=src, dst=dst, widths=width_vec, blocks=block_mat, tags=tag_vec
+    )
+
+
 def flatten_array_batch(
     dests: Sequence[np.ndarray],
     blocks: Sequence[np.ndarray],
@@ -149,7 +189,20 @@ def flatten_array_batch(
     vectors and ``blocks[v]`` is ``(p_v, *piece_shape)``; the piece shape
     must be uniform across the whole exchange.  Raises ``ValueError`` on
     malformed input (the caller wraps into ``CliqueModelError``).
+
+    Callers that already hold whole-exchange ``(n, p, ...)`` arrays may pass
+    them directly; that uniform case flattens by reshape with no
+    per-node copies.
     """
+    if (
+        isinstance(dests, np.ndarray)
+        and isinstance(blocks, np.ndarray)
+        and isinstance(widths, np.ndarray)
+        and (tags is None or isinstance(tags, np.ndarray))
+        and dests.ndim == 2
+        and dests.shape[0] == n
+    ):
+        return _flatten_uniform(dests, blocks, widths, tags, n)
     if len(dests) != n or len(blocks) != n or len(widths) != n:
         raise ValueError(f"expected {n} per-node batches")
     if tags is not None and len(tags) != n:
@@ -228,30 +281,67 @@ def analyze_array(batch: ArrayBatch, *, with_demand: bool = False) -> LoadProfil
     )
 
 
-def deliver_array(batch: ArrayBatch) -> list[ArrayInbox]:
-    """Vectorised :func:`deliver`: route every piece to its destination.
+@dataclass(frozen=True)
+class FlatInboxes:
+    """All inboxes of an array exchange as one destination-sorted batch.
 
-    One stable sort by destination groups the batch into inboxes; stability
-    preserves the (sender id, emission order) order within each inbox,
-    matching the tuple path's deterministic delivery order.
+    The flat counterpart of ``list[ArrayInbox]``: node ``u``'s inbox is the
+    slice ``offsets[u]:offsets[u+1]`` of every array, in the same
+    deterministic (sender id, emission order) order.  Exchanges whose inbox
+    composition is uniform (every node receives ``p`` pieces -- true of all
+    matmul-engine phases) can reshape ``blocks`` to ``(n, p, ...)`` and skip
+    per-node restacking entirely.
+    """
+
+    n: int
+    sources: np.ndarray
+    blocks: np.ndarray
+    tags: np.ndarray | None
+    offsets: np.ndarray
+
+    def inbox(self, u: int) -> ArrayInbox:
+        """Node ``u``'s inbox as a (view-backed) :class:`ArrayInbox`."""
+        lo, hi = int(self.offsets[u]), int(self.offsets[u + 1])
+        return ArrayInbox(
+            sources=self.sources[lo:hi],
+            blocks=self.blocks[lo:hi],
+            tags=self.tags[lo:hi] if self.tags is not None else None,
+        )
+
+    def uniform_blocks(self, pieces_per_node: int) -> np.ndarray:
+        """``blocks`` as an ``(n, p, ...)`` array (uniform inboxes only)."""
+        if self.blocks.shape[0] != self.n * pieces_per_node:
+            raise ValueError(
+                f"exchange is not uniform: {self.blocks.shape[0]} pieces != "
+                f"{self.n} nodes x {pieces_per_node}"
+            )
+        return self.blocks.reshape(
+            (self.n, pieces_per_node) + self.blocks.shape[1:]
+        )
+
+
+def deliver_array_flat(batch: ArrayBatch) -> FlatInboxes:
+    """Vectorised delivery, returned as one :class:`FlatInboxes` batch.
+
+    One stable sort by destination groups the batch; stability preserves
+    the (sender id, emission order) order within each inbox, matching the
+    tuple path's deterministic delivery order.
     """
     order = np.argsort(batch.dst, kind="stable")
-    src = batch.src[order]
-    blocks = batch.blocks[order]
-    tags = batch.tags[order] if batch.tags is not None else None
     counts = np.bincount(batch.dst, minlength=batch.n)
-    offsets = np.concatenate(([0], np.cumsum(counts)))
-    inboxes: list[ArrayInbox] = []
-    for u in range(batch.n):
-        lo, hi = int(offsets[u]), int(offsets[u + 1])
-        inboxes.append(
-            ArrayInbox(
-                sources=src[lo:hi],
-                blocks=blocks[lo:hi],
-                tags=tags[lo:hi] if tags is not None else None,
-            )
-        )
-    return inboxes
+    return FlatInboxes(
+        n=batch.n,
+        sources=batch.src[order],
+        blocks=batch.blocks[order],
+        tags=batch.tags[order] if batch.tags is not None else None,
+        offsets=np.concatenate(([0], np.cumsum(counts))),
+    )
+
+
+def deliver_array(batch: ArrayBatch) -> list[ArrayInbox]:
+    """Vectorised :func:`deliver`: route every piece to its destination inbox."""
+    flat = deliver_array_flat(batch)
+    return [flat.inbox(u) for u in range(batch.n)]
 
 
 def deliver(outboxes: Outboxes, n: int) -> list[list[tuple[int, Any]]]:
@@ -278,7 +368,9 @@ __all__ = [
     "deliver",
     "ArrayInbox",
     "ArrayBatch",
+    "FlatInboxes",
     "flatten_array_batch",
     "analyze_array",
     "deliver_array",
+    "deliver_array_flat",
 ]

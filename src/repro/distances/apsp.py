@@ -4,7 +4,9 @@
 reached with ``ceil(log2 n)`` squarings, each an ``O(n^{1/3})``-round
 semiring product (Theorem 1), for ``O(n^{1/3} log n)`` rounds in total (the
 ``dlog M / log ne`` width factor is metered automatically from the entry
-magnitudes).
+magnitudes).  The loop is the shared session closure
+(:meth:`repro.engine.EngineSession.closure`): one bound min-plus session
+carries every squaring on cached plans.
 
 Routing tables (§3.3 "constructing routing tables"): the semiring engine
 returns witness matrices for free (local arg-min), and the table is updated
@@ -20,15 +22,14 @@ zero.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
+from repro.algebra.semirings import MIN_PLUS
 from repro.clique.model import CongestedClique, ScheduleMode
 from repro.constants import INF
+from repro.engine import EngineSession, default_steps
 from repro.errors import NegativeCycleError
 from repro.graphs.graphs import Graph
-from repro.matmul.distance import distance_product
 from repro.runtime import RunResult, make_clique, pad_matrix
 
 
@@ -36,6 +37,7 @@ def apsp_exact(
     graph: Graph,
     *,
     with_routing_tables: bool = True,
+    method: str = "semiring",
     clique: CongestedClique | None = None,
     mode: ScheduleMode = ScheduleMode.FAST,
 ) -> RunResult:
@@ -44,9 +46,15 @@ def apsp_exact(
     Returns distances (``value``), with ``extras["next_hop"]`` holding the
     routing table when requested: ``next_hop[u, v]`` is the first hop of a
     shortest ``u -> v`` path (``-1`` if unreachable or ``u == v``).
+
+    ``method`` selects a selection-semiring engine (``"semiring"`` --
+    Theorem 1's ``O(n^{1/3})`` engine -- or the ``"naive"`` baseline); the
+    bilinear engine cannot run min-plus directly (see Lemma 18/20 for the
+    ring embeddings).
     """
     n = graph.n
-    clique = clique or make_clique(n, "semiring", mode=mode)
+    clique = clique or make_clique(n, method, mode=mode)
+    session = EngineSession(clique, method, MIN_PLUS)
     dist = pad_matrix(graph.weight_matrix(), clique.n, fill=INF)
     next_hop = None
     if with_routing_tables:
@@ -55,24 +63,22 @@ def apsp_exact(
         next_hop[edge_rows, edge_cols] = edge_cols
         np.fill_diagonal(next_hop, np.arange(clique.n))
 
-    iterations = max(1, math.ceil(math.log2(max(2, n))))
-    for step in range(iterations):
-        if with_routing_tables:
-            squared, witness = distance_product(
-                clique, dist, dist, with_witnesses=True, phase=f"apsp/square{step}"
+    def check_diagonal(step: int, accum: np.ndarray) -> None:
+        if np.any(np.diag(accum) < 0):
+            raise NegativeCycleError(
+                "negative-weight cycle detected during squaring"
             )
-            improved = squared < dist
-            rows, cols = np.nonzero(improved)
-            mids = witness[rows, cols]
-            next_hop[rows, cols] = next_hop[rows, mids]
-            dist = np.where(improved, squared, dist)
-        else:
-            squared = distance_product(
-                clique, dist, dist, with_witnesses=False, phase=f"apsp/square{step}"
-            )
-            dist = np.minimum(dist, squared)
-        if np.any(np.diag(dist) < 0):
-            raise NegativeCycleError("negative-weight cycle detected during squaring")
+
+    iterations = default_steps(n)
+    dist = session.closure(
+        dist,
+        steps=iterations,
+        with_witnesses=with_routing_tables,
+        next_hop=next_hop,
+        on_step=check_diagonal,
+        phase="apsp",
+        step_label="square",
+    )
 
     value = dist[:n, :n]
     extras: dict[str, object] = {"squarings": iterations}

@@ -18,15 +18,13 @@ engine has no min-plus specific assumptions baked in.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.algebra.semirings import MAX_MIN
 from repro.clique.model import CongestedClique, ScheduleMode
 from repro.constants import INF
+from repro.engine import EngineSession, default_steps
 from repro.graphs.graphs import Graph
-from repro.matmul.semiring3d import semiring_matmul
 from repro.runtime import RunResult, make_clique, pad_matrix
 
 #: Self-capacity: a node can keep its own flow without a bottleneck.
@@ -76,6 +74,7 @@ def apsp_bottleneck(
     """
     n = graph.n
     clique = clique or make_clique(n, "semiring", mode=mode)
+    session = EngineSession(clique, "semiring", MAX_MIN)
     cap = pad_matrix(capacity_matrix(graph), clique.n, fill=-INF)
     # pad_matrix zeroes the padded diagonal; bottleneck padding wants the
     # identity capacity there, which zero also satisfies (padded nodes have
@@ -86,27 +85,17 @@ def apsp_bottleneck(
         rows, cols = np.nonzero(cap > -INF)
         next_hop[rows, cols] = cols
 
-    iterations = max(1, math.ceil(math.log2(max(2, n))))
-    for step in range(iterations):
-        if with_routing_tables:
-            squared, witness = semiring_matmul(
-                clique,
-                cap,
-                cap,
-                MAX_MIN,
-                with_witnesses=True,
-                phase=f"bottleneck/square{step}",
-            )
-            improved = squared > cap
-            rows, cols = np.nonzero(improved)
-            mids = witness[rows, cols]
-            next_hop[rows, cols] = next_hop[rows, mids]
-            cap = np.where(improved, squared, cap)
-        else:
-            squared = semiring_matmul(
-                clique, cap, cap, MAX_MIN, phase=f"bottleneck/square{step}"
-            )
-            cap = np.maximum(cap, squared)
+    # The same session closure as Corollary 6, over (max, min): the engine's
+    # argmax witnesses drive the routing-table updates.
+    iterations = default_steps(n)
+    cap = session.closure(
+        cap,
+        steps=iterations,
+        with_witnesses=with_routing_tables,
+        next_hop=next_hop,
+        phase="bottleneck",
+        step_label="square",
+    )
 
     extras: dict[str, object] = {"squarings": iterations}
     if with_routing_tables:

@@ -18,13 +18,14 @@ import math
 
 import numpy as np
 
+from repro.algebra.semirings import BOOLEAN
 from repro.clique.model import CongestedClique, ScheduleMode
 from repro.constants import INF
+from repro.engine import EngineSession, default_steps
 from repro.graphs.graphs import Graph
-from repro.matmul.distance import distance_product_ring
+from repro.matmul.distance import RingDistanceSession
 from repro.runtime import (
     RunResult,
-    boolean_product,
     make_clique,
     or_broadcast,
     pad_matrix,
@@ -53,47 +54,58 @@ def apsp_up_to(
     """
     if max_distance < 1:
         raise ValueError(f"max_distance must be >= 1, got {max_distance}")
+    session = RingDistanceSession(clique, max_distance)
     dist = np.where(weight_matrix <= max_distance, weight_matrix, INF)
     np.fill_diagonal(dist, 0)
-    next_hop = None
-    if with_routing_tables:
-        from repro.matmul.witnesses import find_witnesses
-
-        witness_rng = witness_rng or np.random.default_rng(0)
-        next_hop = np.full(dist.shape, -1, dtype=np.int64)
-        rows, cols = np.nonzero(dist < INF)
-        next_hop[rows, cols] = cols
     iterations = max(1, math.ceil(math.log2(max(2, max_distance))))
-    for step in range(iterations):
-        product = distance_product_ring(
-            clique, dist, dist, max_distance, phase=f"{phase}/square{step}"
-        )
-        if with_routing_tables:
-            def engine(a, b, sub_phase, _cap=max_distance):
-                return distance_product_ring(clique, a, b, _cap, phase=sub_phase)
 
-            witness = find_witnesses(
-                clique,
-                dist,
-                dist,
-                engine,
-                p=product,
-                rng=witness_rng,
-                phase=f"{phase}/witness{step}",
-            ).witnesses
-            improved = product < dist
-            rows, cols = np.nonzero(improved)
-            mids = witness[rows, cols]
-            assert (mids >= 0).all()
-            next_hop[rows, cols] = next_hop[rows, mids]
-        dist = np.minimum(dist, product)
-        dist = np.where(dist <= max_distance, dist, INF)
-        np.fill_diagonal(dist, 0)
-    if with_routing_tables:
-        next_hop = np.where(dist < INF, next_hop, -1)
-        np.fill_diagonal(next_hop, -1)
-        return dist, next_hop
-    return dist
+    def cap(step: int, accum: np.ndarray) -> np.ndarray:
+        accum = np.where(accum <= max_distance, accum, INF)
+        np.fill_diagonal(accum, 0)
+        return accum
+
+    if not with_routing_tables:
+        # The plain Lemma 19 loop is the shared session closure with a
+        # per-step cap: entries above the bound return to INF before the
+        # next capped squaring.
+        return session.closure(
+            dist, steps=iterations, on_step=cap, phase=phase, step_label="square"
+        )
+
+    # With routing tables the fast engine's missing arg-min is recovered by
+    # the §3.4 witness machinery (Lemma 21): after every squaring, a witness
+    # matrix for the distance product is found with polylog(n) extra masked
+    # products and the next-hop table updated as in Corollary 6.
+    from repro.matmul.witnesses import find_witnesses
+
+    witness_rng = witness_rng or np.random.default_rng(0)
+    next_hop = np.full(dist.shape, -1, dtype=np.int64)
+    rows, cols = np.nonzero(dist < INF)
+    next_hop[rows, cols] = cols
+    for step in range(iterations):
+        product = session.multiply(dist, dist, phase=f"{phase}/square{step}")
+
+        def engine(a, b, sub_phase):
+            return session.multiply(a, b, phase=sub_phase)
+
+        witness = find_witnesses(
+            clique,
+            dist,
+            dist,
+            engine,
+            p=product,
+            rng=witness_rng,
+            phase=f"{phase}/witness{step}",
+        ).witnesses
+        improved = product < dist
+        rows, cols = np.nonzero(improved)
+        mids = witness[rows, cols]
+        assert (mids >= 0).all()
+        next_hop[rows, cols] = next_hop[rows, mids]
+        dist = cap(step, np.minimum(dist, product))
+    next_hop = np.where(dist < INF, next_hop, -1)
+    np.fill_diagonal(next_hop, -1)
+    return dist, next_hop
 
 
 def apsp_bounded(
@@ -122,18 +134,21 @@ def reachability(
     adjacency: np.ndarray,
     *,
     method: str = "bilinear",
+    session: EngineSession | None = None,
     phase: str = "reachability",
 ) -> np.ndarray:
-    """Boolean transitive closure by repeated squaring (incl. self-reach)."""
+    """Boolean transitive closure by repeated squaring (incl. self-reach).
+
+    The shared session closure over the Boolean semiring: with the diagonal
+    pre-set, ``B <- B^2 (+) B`` doubles the reachability radius per step.
+    """
     n = adjacency.shape[0]
+    session = session or EngineSession(clique, method, BOOLEAN)
     reach = (adjacency > 0).astype(np.int64)
     np.fill_diagonal(reach, 1)
-    for step in range(max(1, math.ceil(math.log2(max(2, n))))):
-        squared = boolean_product(
-            clique, reach, reach, method, phase=f"{phase}/square{step}"
-        )
-        reach = ((reach + squared) > 0).astype(np.int64)
-    return reach
+    return session.closure(
+        reach, steps=default_steps(n), phase=phase, step_label="square"
+    )
 
 
 def apsp_small_diameter(

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algebra.semirings import BOOLEAN
 from repro.clique.model import CongestedClique, ScheduleMode
 from repro.distances.bounded import reachability
+from repro.engine import EngineSession
 from repro.graphs.graphs import Graph
 from repro.runtime import RunResult, make_clique, pad_matrix
 
@@ -33,11 +35,12 @@ def connected_components(
     """
     n = graph.n
     clique = clique or make_clique(n, method, mode=mode)
+    session = EngineSession(clique, method, BOOLEAN)
     adjacency = graph.adjacency
     if graph.directed:
         adjacency = ((adjacency + adjacency.T) > 0).astype(np.int64)
     padded = pad_matrix(adjacency, clique.n)
-    reach = reachability(clique, padded, method=method, phase="components")
+    reach = reachability(clique, padded, session=session, phase="components")
     labels = np.array(
         [int(np.nonzero(reach[v])[0].min()) for v in range(n)], dtype=np.int64
     )

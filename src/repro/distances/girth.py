@@ -31,13 +31,14 @@ import math
 
 import numpy as np
 
+from repro.algebra.semirings import BOOLEAN
 from repro.clique.model import CongestedClique, ScheduleMode
 from repro.constants import INF, RHO_IMPLEMENTED
+from repro.engine import EngineSession
 from repro.graphs.graphs import Graph
 from repro.graphs.reference import girth_reference
 from repro.runtime import (
     RunResult,
-    boolean_product,
     make_clique,
     or_broadcast,
     pad_matrix,
@@ -96,6 +97,8 @@ def girth_undirected(
         )
 
     a = pad_matrix(graph.adjacency, clique.n)
+    # One Boolean session serves every colour-coding trial at every k.
+    session = EngineSession(clique, method, BOOLEAN)
     for k in range(3, cutoff + 1):
         budget = (
             trials_per_k
@@ -105,7 +108,7 @@ def girth_undirected(
         for _ in range(budget):
             colours = rng.integers(0, k, size=clique.n)
             if detect_colourful_cycle(
-                clique, a, colours, k, method=method, phase=f"girth/k{k}"
+                clique, a, colours, k, session=session, phase=f"girth/k{k}"
             ):
                 return RunResult(
                     value=k,
@@ -164,6 +167,7 @@ def girth_directed(
         raise ValueError("use girth_undirected for undirected graphs")
     n = graph.n
     clique = clique or make_clique(n, method, mode=mode)
+    session = EngineSession(clique, method, BOOLEAN)
     a = pad_matrix(graph.adjacency, clique.n)
 
     def has_cycle(b: np.ndarray) -> bool:
@@ -180,10 +184,7 @@ def girth_directed(
     s = 0
     while True:
         b_next = _bool_or_a(
-            boolean_product(
-                clique, powers[s], powers[s], method, phase="girth-dir/double"
-            ),
-            a,
+            session.square(powers[s], phase="girth-dir/double"), a
         )
         products += 1
         s += 1
@@ -199,10 +200,7 @@ def girth_directed(
     b_cur = powers[s - 1]
     for step in range(s - 2, -1, -1):
         candidate = _bool_or_a(
-            boolean_product(
-                clique, b_cur, powers[step], method, phase="girth-dir/search"
-            ),
-            a,
+            session.multiply(b_cur, powers[step], phase="girth-dir/search"), a
         )
         products += 1
         if not has_cycle(candidate):

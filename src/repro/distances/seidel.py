@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algebra.semirings import BOOLEAN, PLUS_TIMES
 from repro.clique.model import CongestedClique, ScheduleMode
 from repro.constants import INF
+from repro.engine import EngineSession
 from repro.graphs.graphs import Graph
 from repro.runtime import (
     RunResult,
-    boolean_product,
-    integer_product,
     make_clique,
     pad_matrix,
 )
@@ -48,7 +48,13 @@ def apsp_unweighted(
     clique = clique or make_clique(n, method, mode=mode)
     a = pad_matrix(graph.adjacency, clique.n)
     depth_box = {"levels": 0}
-    dist = _seidel(clique, a, method, depth_box, 0)
+    # Two sessions on one clique/meter: the recursion squares Booleanly and
+    # recovers parities with integer products.
+    sessions = (
+        EngineSession(clique, method, BOOLEAN),
+        EngineSession(clique, method, PLUS_TIMES),
+    )
+    dist = _seidel(clique, a, sessions, depth_box, 0)
     return RunResult(
         value=dist[:n, :n],
         rounds=clique.rounds,
@@ -61,14 +67,15 @@ def apsp_unweighted(
 def _seidel(
     clique: CongestedClique,
     a: np.ndarray,
-    method: str,
+    sessions: tuple[EngineSession, EngineSession],
     depth_box: dict[str, int],
     level: int,
 ) -> np.ndarray:
+    bool_session, int_session = sessions
     n = clique.n
     depth_box["levels"] = max(depth_box["levels"], level + 1)
     # Square the graph: adjacency of G^2 is (A^2 or A) off the diagonal.
-    a_sq = boolean_product(clique, a, a, method, phase=f"seidel/L{level}/square")
+    a_sq = bool_session.square(a, phase=f"seidel/L{level}/square")
     a2 = ((a_sq + a) > 0).astype(np.int64)
     np.fill_diagonal(a2, 0)
 
@@ -85,14 +92,14 @@ def _seidel(
         np.fill_diagonal(dist, 0)
         return dist
 
-    dist2 = _seidel(clique, a2, method, depth_box, level + 1)
+    dist2 = _seidel(clique, a2, sessions, depth_box, level + 1)
 
     # Parity recovery (Lemma 17).  Infinite entries are masked to 0 for the
     # product; they are never consulted (cross-component pairs stay INF).
     finite2 = dist2 < INF
     d_for_product = np.where(finite2, dist2, 0)
-    s = integer_product(
-        clique, d_for_product, a, method, phase=f"seidel/L{level}/parity"
+    s = int_session.multiply(
+        d_for_product, a, phase=f"seidel/L{level}/parity"
     )
     degrees = a.sum(axis=1)
     received = clique.broadcast(

@@ -1,0 +1,33 @@
+"""The unified execution stack: engine sessions over pluggable executors.
+
+One squaring pipeline from the runtime to every distance algorithm: an
+:class:`EngineSession` binds a clique, a semiring/ring and a matmul method
+once (layouts, routing plans, bilinear encode/decode tensors and the
+executor's worker pool are cached across all products), and every §3
+consumer -- APSP, girth, Seidel, bottleneck, components, subgraph counting
+-- drives it through ``multiply`` / ``square`` / ``power`` / ``closure``.
+Local block products run on the clique's
+:class:`~repro.clique.executor.LocalExecutor` (serial, or sharded over node
+ranges with shared-memory blocks) with bit-identical values and round
+charges across backends.
+"""
+
+from repro.engine.session import (
+    MATMUL_METHODS,
+    EngineBindingError,
+    EngineSession,
+    default_steps,
+    make_clique,
+    open_session,
+    required_clique_size,
+)
+
+__all__ = [
+    "EngineSession",
+    "EngineBindingError",
+    "open_session",
+    "make_clique",
+    "required_clique_size",
+    "default_steps",
+    "MATMUL_METHODS",
+]

@@ -1,0 +1,431 @@
+"""Engine sessions: one binding of (clique, matmul method, algebra).
+
+Every §3 algorithm in the paper is "repeated squaring over a semiring"; an
+:class:`EngineSession` packages that pattern once for all of them.  A
+session binds
+
+* a **clique** (the metered simulator, including its local-compute
+  executor -- serial or sharded),
+* a **matmul method** (``"bilinear"`` §2.2, ``"semiring"`` §2.1,
+  ``"naive"`` baseline), and
+* an **algebra** -- a :class:`~repro.algebra.semirings.Semiring` or, for raw
+  §2.2 ring products (the Lemma 18 embedding), a
+  :class:`~repro.matmul.ringops.RingOps`
+
+and exposes ``multiply`` / ``square`` / ``power`` / ``closure``.  Binding
+happens once: the bilinear algorithm (encode/decode tensors), the engine's
+layout and routing plans (:func:`~repro.matmul.semiring3d.cube_plan`,
+:func:`~repro.matmul.bilinear_clique.grid_plan`) and the executor's worker
+pool are all resolved/warmed at construction and shared by every product
+the session runs -- ``ceil(log n)`` squarings replan nothing.
+
+Binding rules mirror Theorem 1: any semiring runs on the §2.1/naive
+engines; the §2.2 engine needs a ring, so it accepts ``PLUS_TIMES``
+directly, implements ``BOOLEAN`` by integer product + threshold (Corollary
+2's reduction), and rejects selection semirings (use the Lemma 18/20
+embeddings in :mod:`repro.matmul.distance` instead).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.algebra.bilinear import BilinearAlgorithm
+from repro.algebra.semirings import BOOLEAN, PLUS_TIMES, Semiring
+from repro.clique.accounting import CostMeter
+from repro.clique.executor import LocalExecutor, make_executor
+from repro.clique.model import CongestedClique, ScheduleMode
+from repro.matmul.bilinear_clique import (
+    bilinear_matmul,
+    default_algorithm,
+    grid_plan,
+)
+from repro.matmul.layout import next_cube, next_square
+from repro.matmul.naive import broadcast_matmul
+from repro.matmul.ringops import RingOps
+from repro.matmul.semiring3d import cube_plan, semiring_matmul
+
+#: The three matmul engines sessions (and applications) can run on.
+MATMUL_METHODS = ("bilinear", "semiring", "naive")
+
+
+class EngineBindingError(ValueError):
+    """An (algebra, method) combination Theorem 1 does not support."""
+
+
+def required_clique_size(n: int, method: str) -> int:
+    """Smallest clique size ``>= n`` on which ``method`` can run."""
+    if method == "semiring":
+        return next_cube(n)
+    if method == "bilinear":
+        return next_square(n)
+    if method == "naive":
+        return n
+    raise ValueError(f"unknown matmul method {method!r}")
+
+
+def default_steps(n: int) -> int:
+    """The ``ceil(log2 n)`` squaring count every closure loop uses."""
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+def make_clique(
+    n: int,
+    method: str = "bilinear",
+    *,
+    mode: ScheduleMode = ScheduleMode.FAST,
+    word_bits: int | None = None,
+    shards: int = 1,
+) -> CongestedClique:
+    """A clique sized for an ``n``-node problem under ``method``.
+
+    ``shards > 1`` attaches a sharded local-compute executor
+    (:class:`~repro.clique.executor.ShardedExecutor`); round charges are
+    unaffected, only the simulator's wall clock.
+    """
+    size = required_clique_size(n, method)
+    if not 1 <= shards <= size:
+        raise ValueError(
+            f"shards must be in [1, clique size {size}], got {shards}"
+        )
+    return CongestedClique(
+        size, mode=mode, word_bits=word_bits, executor=make_executor(shards)
+    )
+
+
+class EngineSession:
+    """One bound squaring pipeline: clique + method + algebra.
+
+    Args:
+        clique: the simulator to run on (its ``executor`` attribute decides
+            serial vs sharded local compute).
+        method: one of :data:`MATMUL_METHODS`.
+        algebra: a :class:`~repro.algebra.semirings.Semiring` (default: the
+            integer ring) or a :class:`~repro.matmul.ringops.RingOps` for
+            raw bilinear ring products.
+        algorithm: bilinear algorithm override (default: deepest Strassen
+            power fitting the clique); ignored by the other engines.
+    """
+
+    def __init__(
+        self,
+        clique: CongestedClique,
+        method: str = "bilinear",
+        algebra: Semiring | RingOps = PLUS_TIMES,
+        *,
+        algorithm: BilinearAlgorithm | None = None,
+    ) -> None:
+        if method not in MATMUL_METHODS:
+            raise ValueError(
+                f"unknown matmul method {method!r} (choose from {MATMUL_METHODS})"
+            )
+        self.clique = clique
+        self.method = method
+        self.algebra = algebra
+        self.algorithm: BilinearAlgorithm | None = None
+        self._boolean_via_ring = False
+        self._ring: RingOps | None = None
+
+        if isinstance(algebra, RingOps):
+            if method != "bilinear":
+                raise EngineBindingError(
+                    f"raw ring products ({algebra.name}) need the bilinear "
+                    f"engine, not {method!r}"
+                )
+            self._ring = algebra
+        elif isinstance(algebra, Semiring):
+            if method == "bilinear":
+                if algebra is BOOLEAN:
+                    # Corollary 2: Boolean product = integer product of the
+                    # 0/1 matrices + threshold.
+                    self._boolean_via_ring = True
+                elif not algebra.is_ring:
+                    raise EngineBindingError(
+                        f"the bilinear engine needs a ring; semiring "
+                        f"{algebra.name!r} runs on the semiring/naive engines "
+                        f"(or via the Lemma 18/20 embeddings)"
+                    )
+        else:
+            raise TypeError(f"algebra must be a Semiring or RingOps, got {algebra!r}")
+
+        # Resolve the bound engine once: bilinear algorithm + engine plans
+        # are materialised here, so every later product is replanning-free.
+        if method == "bilinear":
+            self.algorithm = algorithm or default_algorithm(clique.n)
+            grid_plan(clique.n, self.algorithm.d)
+        elif method == "semiring":
+            cube_plan(clique.n)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        return self.clique.n
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds charged on the bound clique so far."""
+        return self.clique.rounds
+
+    @property
+    def meter(self) -> CostMeter:
+        return self.clique.meter
+
+    @property
+    def executor(self) -> LocalExecutor:
+        return self.clique.executor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        algebra = getattr(self.algebra, "name", self.algebra)
+        return (
+            f"EngineSession(n={self.n}, method={self.method!r}, "
+            f"algebra={algebra!r}, executor={self.executor.name})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Products
+    # ------------------------------------------------------------------ #
+
+    def multiply(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        with_witnesses: bool = False,
+        phase: str = "session/multiply",
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """One distributed product in the bound algebra.
+
+        With ``with_witnesses`` (selection semirings on the semiring/naive
+        engines only) also returns the witness matrix of §3.3.
+        """
+        if self._ring is not None:
+            if with_witnesses:
+                raise EngineBindingError(
+                    "ring products have no native witnesses (use the §3.4 "
+                    "witness machinery in repro.matmul.witnesses)"
+                )
+            return bilinear_matmul(
+                self.clique, x, y, self.algorithm, ring=self._ring, phase=phase
+            )
+        semiring: Semiring = self.algebra  # type: ignore[assignment]
+        if self._boolean_via_ring:
+            # Boolean on the fast engine: threshold the integer product.
+            if with_witnesses:
+                raise EngineBindingError(
+                    "the bilinear engine has no native witnesses (Lemma 21 "
+                    "recovers them; see repro.matmul.witnesses)"
+                )
+            xb = (np.asarray(x) > 0).astype(np.int64)
+            yb = (np.asarray(y) > 0).astype(np.int64)
+            product = bilinear_matmul(
+                self.clique, xb, yb, self.algorithm, phase=phase
+            )
+            return (product > 0).astype(np.int64)
+        if semiring is BOOLEAN:
+            x = (np.asarray(x) > 0).astype(np.int64)
+            y = (np.asarray(y) > 0).astype(np.int64)
+        if with_witnesses and not semiring.has_witnesses:
+            raise EngineBindingError(
+                f"semiring {semiring.name!r} does not support witnesses"
+            )
+        if self.method == "bilinear":
+            return bilinear_matmul(self.clique, x, y, self.algorithm, phase=phase)
+        if self.method == "semiring":
+            return semiring_matmul(
+                self.clique, x, y, semiring,
+                with_witnesses=with_witnesses, phase=phase,
+            )
+        return broadcast_matmul(
+            self.clique, x, y, semiring,
+            with_witnesses=with_witnesses, phase=phase,
+        )
+
+    def square(
+        self,
+        x: np.ndarray,
+        *,
+        with_witnesses: bool = False,
+        phase: str = "session/square",
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """``x . x`` in the bound algebra."""
+        return self.multiply(x, x, with_witnesses=with_witnesses, phase=phase)
+
+    # ------------------------------------------------------------------ #
+    # Iterated squaring
+    # ------------------------------------------------------------------ #
+
+    def power(
+        self,
+        matrix: np.ndarray,
+        exponent: int,
+        *,
+        phase: str = "matrix-power",
+    ) -> np.ndarray:
+        """``matrix^exponent`` by binary exponentiation, ``O(log k)`` products.
+
+        ``exponent = 0`` returns the multiplicative identity pattern of the
+        bound semiring (1-diagonal for plus-times/Boolean, 0-diagonal /
+        zero-elsewhere for min-plus style selection semirings).
+        """
+        if self._ring is not None:
+            raise EngineBindingError(
+                "power/closure need a semiring binding (identity and "
+                "addition semantics); raw ring sessions only multiply"
+            )
+        semiring: Semiring = self.algebra  # type: ignore[assignment]
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        n = self.n
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.shape != (n, n):
+            raise ValueError(f"matrix must be {n} x {n}")
+        if exponent == 0:
+            identity = semiring.zeros((n, n))
+            np.fill_diagonal(identity, semiring.one_value)
+            return identity
+        result: np.ndarray | None = None
+        base = matrix
+        e = exponent
+        step = 0
+        while e:
+            if e & 1:
+                result = (
+                    base
+                    if result is None
+                    else self.multiply(result, base, phase=f"{phase}/mul{step}")
+                )
+            e >>= 1
+            if e:
+                base = self.square(base, phase=f"{phase}/sq{step}")
+            step += 1
+        assert result is not None
+        return result
+
+    def closure(
+        self,
+        matrix: np.ndarray,
+        *,
+        steps: int | None = None,
+        with_witnesses: bool = False,
+        next_hop: np.ndarray | None = None,
+        absorb: str = "accum",
+        on_step: Callable[[int, np.ndarray], np.ndarray | None] | None = None,
+        phase: str = "closure",
+        step_label: str = "sq",
+    ) -> np.ndarray:
+        """Iterated squaring to a fixed point: the shared §3 closure loop.
+
+        After ``t`` steps the accumulator covers all walks of length
+        ``<= 2^t`` (paper eq. (4) generalised to any semiring); ``steps``
+        defaults to ``ceil(log2 n)``, reaching the full closure.
+
+        Args:
+            matrix: the ``n x n`` seed (adjacency / weight / capacity).
+            steps: number of squarings (default :func:`default_steps`).
+            with_witnesses: selection semirings only -- merge with the
+                engine's witness matrices and maintain ``next_hop`` routing
+                tables exactly as Corollary 6 does.
+            next_hop: routing table updated in place (required with
+                ``with_witnesses``); row ``u`` of the table is node-local
+                state, so the update costs no communication.
+            absorb: ``"accum"`` merges ``B <- B^2 (+) B`` (the distance/
+                reachability recurrences); ``"matrix"`` merges
+                ``B <- B^2 (+) A`` (the generic closure of
+                :func:`repro.matmul.powers.closure`).
+            on_step: optional per-step hook ``(step, accum) -> accum | None``
+                (negative-cycle detection, capping); a non-``None`` return
+                replaces the accumulator.
+            phase: cost-meter label prefix; squaring ``i`` is charged as
+                ``{phase}/{step_label}{i}``.
+        """
+        if self._ring is not None:
+            raise EngineBindingError(
+                "power/closure need a semiring binding (identity and "
+                "addition semantics); raw ring sessions only multiply"
+            )
+        if absorb not in ("accum", "matrix"):
+            raise ValueError(f"absorb must be 'accum' or 'matrix', got {absorb!r}")
+        if with_witnesses and absorb != "accum":
+            raise ValueError(
+                "the witness closure merges against the accumulator only "
+                "(absorb='accum'); no witness exists for re-absorbed seed "
+                "entries"
+            )
+        if with_witnesses and next_hop is None:
+            raise ValueError("with_witnesses closure needs a next_hop table")
+        semiring: Semiring = self.algebra  # type: ignore[assignment]
+        base = np.asarray(matrix, dtype=np.int64)
+        accum = base
+        steps = default_steps(self.n) if steps is None else steps
+        for step in range(steps):
+            step_phase = f"{phase}/{step_label}{step}"
+            if with_witnesses:
+                squared, witness = self.square(
+                    accum, with_witnesses=True, phase=step_phase
+                )
+                improved = semiring.improves(squared, accum)
+                rows, cols = np.nonzero(improved)
+                mids = witness[rows, cols]
+                next_hop[rows, cols] = next_hop[rows, mids]
+                accum = np.where(improved, squared, accum)
+            else:
+                squared = self.square(accum, phase=step_phase)
+                accum = semiring.add(
+                    squared, accum if absorb == "accum" else base
+                )
+            if on_step is not None:
+                replaced = on_step(step, accum)
+                if replaced is not None:
+                    accum = replaced
+        return accum
+
+
+def open_session(
+    n: int,
+    method: str = "bilinear",
+    algebra: Semiring | RingOps = PLUS_TIMES,
+    *,
+    clique: CongestedClique | None = None,
+    algorithm: BilinearAlgorithm | None = None,
+    shards: int = 1,
+    mode: ScheduleMode = ScheduleMode.FAST,
+    word_bits: int | None = None,
+) -> EngineSession:
+    """Build a session (and its clique/executor) for an ``n``-node problem.
+
+    The clique is sized by :func:`required_clique_size` for the method; pass
+    an explicit ``clique`` to share one simulator (and its meter) across
+    several sessions, as the multi-product algorithms (Seidel, girth) do.
+
+    Args:
+        shards: local-compute worker processes; ``1`` keeps the serial
+            executor.  Must satisfy ``1 <= shards <= clique size``
+            (a shard owns a non-empty node range).
+    """
+    if clique is None:
+        clique = make_clique(
+            n, method, mode=mode, word_bits=word_bits, shards=shards
+        )
+    elif shards != 1 and shards != clique.executor.shards:
+        raise ValueError(
+            "pass shards= only when the session builds the clique "
+            "(the given clique already has an executor)"
+        )
+    return EngineSession(clique, method, algebra, algorithm=algorithm)
+
+
+__all__ = [
+    "EngineSession",
+    "EngineBindingError",
+    "open_session",
+    "make_clique",
+    "required_clique_size",
+    "default_steps",
+    "MATMUL_METHODS",
+]

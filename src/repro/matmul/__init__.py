@@ -9,6 +9,7 @@ the §3.4 witness machinery.
 
 from repro.matmul.bilinear_clique import bilinear_matmul, default_algorithm
 from repro.matmul.distance import (
+    RingDistanceSession,
     approx_distance_product,
     distance_product,
     distance_product_ring,
@@ -35,6 +36,7 @@ __all__ = [
     "broadcast_matmul",
     "distance_product",
     "distance_product_ring",
+    "RingDistanceSession",
     "approx_distance_product",
     "scaling_levels",
     "find_witnesses",

@@ -40,6 +40,9 @@ both paths against (rounds must be bit-identical).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
+
 import numpy as np
 
 from repro.algebra.bilinear import (
@@ -57,6 +60,64 @@ from repro.matmul.ringops import INTEGER_RING, RingOps
 def default_algorithm(n: int) -> BilinearAlgorithm:
     """The deepest Strassen power whose product count fits the clique."""
     return strassen_power(largest_strassen_level(n))
+
+
+@dataclass(frozen=True)
+class GridPlan:
+    """Input-independent schedule of one §2.2 product on an ``n``-clique.
+
+    All destination/index arrays of the four exchanges are pure functions of
+    ``(n, d)``; memoised via :func:`grid_plan` so iterated ring products
+    (Lemma 19 squarings, Seidel levels, Boolean closures) replan nothing.
+    """
+
+    layout: GridLayout
+    #: cell-column membership, ``(q, d*c)``: padded columns of cell-col x2.
+    col_index: np.ndarray
+    #: cell-row of each real matrix row, ``(n,)``.
+    x1_of_row: np.ndarray
+    #: step-1 destinations, ``(n, q)``: the q cell owners of each row.
+    dests1: np.ndarray
+    #: row offsets for cell-row 0 in (block, offset) emission order, ``(d*c,)``.
+    r_grid: np.ndarray
+    #: step-7 destinations per node (real rows only), ragged tuple of arrays.
+    dests7: tuple[np.ndarray, ...]
+    #: step-7 keep-mask per node (which of the d*c candidate rows are real).
+    keep7: tuple[np.ndarray, ...]
+
+
+@lru_cache(maxsize=None)
+def grid_plan(n: int, d: int) -> GridPlan:
+    """The memoised :class:`GridPlan` for an ``n = q^2``-clique and grid ``d``."""
+    layout = GridLayout.for_clique(n, d)
+    q, c = layout.q, layout.c
+    block_rows = c * q
+    rows = np.arange(n, dtype=np.int64)
+    x1_of_row = (rows % block_rows) // c
+    col_index = np.stack(
+        [layout.indices_of_cell_axis(x2) for x2 in range(q)]
+    )
+    dests1 = x1_of_row[:, None] * q + np.arange(q, dtype=np.int64)[None, :]
+    r_grid = (
+        np.arange(d, dtype=np.int64)[:, None] * block_rows
+        + np.arange(c, dtype=np.int64)[None, :]
+    ).reshape(-1)
+    dests7: list[np.ndarray] = []
+    keep7: list[np.ndarray] = []
+    for u in range(n):
+        r_vals = r_grid + (u // q) * c
+        keep = r_vals < n
+        dests7.append(r_vals[keep])
+        keep7.append(keep)
+    return GridPlan(
+        layout=layout,
+        col_index=col_index,
+        x1_of_row=x1_of_row,
+        dests1=dests1,
+        r_grid=r_grid,
+        dests7=tuple(dests7),
+        keep7=tuple(keep7),
+    )
 
 
 def phase_load_bounds(
@@ -150,6 +211,7 @@ def bilinear_matmul(
     """
     n = clique.n
     algorithm, layout = _check_operands(clique, s, t, algorithm)
+    plan = grid_plan(n, algorithm.d)
     q, d, c, mm = layout.q, layout.d, layout.c, layout.m_padded
     m = algorithm.m
     trailing = np.asarray(s).shape[2:]
@@ -164,19 +226,14 @@ def bilinear_matmul(
     tp[:n, :n] = t
 
     # col_index[x2] = the d*c padded columns in cell-column x2.
-    col_index = np.stack(
-        [layout.indices_of_cell_axis(x2) for x2 in range(q)]
-    )  # (q, d*c)
+    col_index = plan.col_index  # (q, d*c)
     dc = d * c
 
     # -------- Step 1: distribute the entries (2 M words per node). ------ #
     # Node v ships, for each x2, the (S, T) column slices of its row that
     # land in cell (x1(v), x2) -- one (2, d*c) piece per destination.
-    rows = np.arange(n, dtype=np.int64)
-    x1_of_row = (rows % block_rows) // c
     s_pieces = sp[:n][:, col_index]  # (n, q, dc) + trailing
     t_pieces = tp[:n][:, col_index]
-    dests1 = x1_of_row[:, None] * q + np.arange(q, dtype=np.int64)[None, :]
     widths1 = np.maximum(
         1,
         block_widths(s_pieces.reshape(n * q, -1), word_bits).reshape(n, q)
@@ -190,9 +247,9 @@ def bilinear_matmul(
         layout, m, entry_words=entry_w, hat_words=1, prod_words=1
     )
     inboxes = clique.route_array(
-        list(dests1),
-        list(blocks1),
-        widths=list(widths1),
+        plan.dests1,
+        blocks1,
+        widths=widths1,
         phase=f"{phase}/step1-distribute",
         expect_max_load=bounds["step1"],
     )
@@ -241,14 +298,18 @@ def bilinear_matmul(
 
     # -------- Step 4: the m block products -- local at nodes w < m. ----- #
     # Sender u = (x1, x2) owns cell (x1, x2): un-interleave the (q, q) grid
-    # of (c, c) cells into full (side, side) operands.
+    # of (c, c) cells into full (side, side) operands.  The m products run
+    # as one batched executor call (sharded backends partition the worker
+    # range).
     grid_axes = (0, 2, 1, 3) + tuple(range(4, 4 + nt))
     full = (
         hats.reshape((m, q, q, 2, c, c) + trailing)
         .transpose((0, 3, 1, 4, 2, 5) + tuple(range(6, 6 + nt)))
         .reshape((m, 2, side, side) + trailing)
     )
-    p_hat = np.stack([ring.matmul(full[w, 0], full[w, 1]) for w in range(m)])
+    p_hat = clique.executor.ring_products(
+        ring, np.ascontiguousarray(full[:, 0]), np.ascontiguousarray(full[:, 1])
+    )
     # Ring products may widen the entry representation (the polynomial ring's
     # degree grows under convolution), so downstream buffers use the output
     # trailing shape.
@@ -293,23 +354,14 @@ def bilinear_matmul(
         prod_words=prod_entry_w,
         out_words=ring.entry_words(p_cells, word_bits),
     )
-    r_grid = (
-        np.arange(d, dtype=np.int64)[:, None] * block_rows
-        + np.arange(c, dtype=np.int64)[None, :]
-    ).reshape(-1)  # row offsets for x1 = 0, in (i, tt) emission order
-    dests7: list[np.ndarray] = []
     blocks7: list[np.ndarray] = []
     widths7: list[np.ndarray] = []
     for u in range(n):
-        x1 = u // q
-        r_vals = r_grid + x1 * c
-        keep = r_vals < n
         pieces = (
             p_cells[u]
             .transpose(grid_axes)
-            .reshape((dc, d, c) + trailing_out)[keep]
+            .reshape((dc, d, c) + trailing_out)[plan.keep7[u]]
         )
-        dests7.append(r_vals[keep])
         blocks7.append(pieces)
         widths7.append(
             np.maximum(
@@ -318,7 +370,7 @@ def bilinear_matmul(
             )
         )
     inboxes = clique.route_array(
-        dests7,
+        list(plan.dests7),
         blocks7,
         widths=widths7,
         phase=f"{phase}/step7-assemble",
@@ -526,4 +578,6 @@ __all__ = [
     "bilinear_matmul_tuple",
     "default_algorithm",
     "phase_load_bounds",
+    "GridPlan",
+    "grid_plan",
 ]

@@ -27,6 +27,7 @@ from repro.algebra.polynomial import decode_minplus, encode_minplus
 from repro.algebra.semirings import MIN_PLUS
 from repro.clique.model import CongestedClique
 from repro.constants import INF
+from repro.engine import EngineBindingError, EngineSession
 from repro.matmul.bilinear_clique import bilinear_matmul
 from repro.matmul.ringops import POLYNOMIAL_RING
 from repro.matmul.semiring3d import semiring_matmul
@@ -46,6 +47,55 @@ def distance_product(
     )
 
 
+class RingDistanceSession(EngineSession):
+    """Lemma 18 as an engine session: min-plus products on the §2.2 engine.
+
+    Binds the capped polynomial embedding once -- entries in
+    ``{0..max_entry} + {inf}`` become monomials, products run on the
+    bilinear ring engine, and results decode back to distances.  The
+    session's ``closure``/``power`` loops then work unchanged with min-plus
+    merge semantics, which is exactly how Lemma 19 iterates capped
+    squarings.
+    """
+
+    def __init__(
+        self,
+        clique: CongestedClique,
+        max_entry: int,
+        *,
+        algorithm: BilinearAlgorithm | None = None,
+    ) -> None:
+        if max_entry < 0:
+            raise ValueError(f"max_entry must be >= 0, got {max_entry}")
+        super().__init__(clique, "bilinear", POLYNOMIAL_RING, algorithm=algorithm)
+        # The transport ring is internal; closure/power merge in min-plus.
+        self._poly_ring = self._ring
+        self._ring = None
+        self.algebra = MIN_PLUS
+        self.max_entry = max_entry
+
+    def multiply(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        with_witnesses: bool = False,
+        phase: str = "lemma18",
+    ) -> np.ndarray:
+        if with_witnesses:
+            raise EngineBindingError(
+                "Lemma 18 products have no native witnesses (Lemma 21 "
+                "recovers them; see repro.matmul.witnesses)"
+            )
+        degree = self.max_entry + 1
+        es = encode_minplus(np.asarray(x, dtype=np.int64), self.max_entry, degree)
+        et = encode_minplus(np.asarray(y, dtype=np.int64), self.max_entry, degree)
+        product = bilinear_matmul(
+            self.clique, es, et, self.algorithm, ring=self._poly_ring, phase=phase
+        )
+        return decode_minplus(product)
+
+
 def distance_product_ring(
     clique: CongestedClique,
     s: np.ndarray,
@@ -60,16 +110,11 @@ def distance_product_ring(
     Entries of ``s`` and ``t`` strictly above ``max_entry`` are treated as
     ``+inf`` (this is how the iterated-squaring callers cap distances).
     Output entries are exact distances ``<= 2 max_entry`` or ``INF``.
+    One-shot wrapper over :class:`RingDistanceSession`.
     """
-    if max_entry < 0:
-        raise ValueError(f"max_entry must be >= 0, got {max_entry}")
-    degree = max_entry + 1
-    es = encode_minplus(np.asarray(s, dtype=np.int64), max_entry, degree)
-    et = encode_minplus(np.asarray(t, dtype=np.int64), max_entry, degree)
-    product = bilinear_matmul(
-        clique, es, et, algorithm, ring=POLYNOMIAL_RING, phase=phase
+    return RingDistanceSession(clique, max_entry, algorithm=algorithm).multiply(
+        s, t, phase=phase
     )
-    return decode_minplus(product)
 
 
 def scaling_levels(max_entry: int, delta: float) -> int:
@@ -110,15 +155,16 @@ def approx_distance_product(
 
     levels = scaling_levels(finite_max, delta)
     capped = math.ceil(2.0 * (1.0 + delta) / delta)
+    # One Lemma 18 session serves every scale: the cap (and so the
+    # polynomial degree, layouts and plans) is scale-independent.
+    session = RingDistanceSession(clique, capped, algorithm=algorithm)
     best = np.full(s.shape[:2], INF, dtype=np.int64)
     for i in range(levels):
         scale = (1.0 + delta) ** i
         bound = 2.0 * (1.0 + delta) ** (i + 1) / delta
         s_i = _scaled(s, scale, bound)
         t_i = _scaled(t, scale, bound)
-        p_i = distance_product_ring(
-            clique, s_i, t_i, capped, algorithm, phase=f"{phase}/scale{i}"
-        )
+        p_i = session.multiply(s_i, t_i, phase=f"{phase}/scale{i}")
         finite = p_i < INF
         candidate = np.full_like(best, INF)
         candidate[finite] = np.floor(scale * p_i[finite]).astype(np.int64)
@@ -137,6 +183,7 @@ def _scaled(matrix: np.ndarray, scale: float, bound: float) -> np.ndarray:
 __all__ = [
     "distance_product",
     "distance_product_ring",
+    "RingDistanceSession",
     "approx_distance_product",
     "scaling_levels",
 ]

@@ -1,8 +1,10 @@
 """Matrix powers on the clique: the iterated-squaring workhorse.
 
 Every distance/reachability algorithm in §3 is "compute a matrix power by
-repeated squaring"; this module exposes that pattern as a first-class
-primitive so downstream users don't re-implement the loop:
+repeated squaring"; the pattern lives on
+:class:`~repro.engine.EngineSession` (``power``/``closure``) so downstream
+users don't re-implement the loop.  This module keeps the function-style
+entry points:
 
 * :func:`matrix_power` -- ``A^k`` over any semiring via binary
   exponentiation, ``O(log k)`` products;
@@ -10,19 +12,37 @@ primitive so downstream users don't re-implement the loop:
   path length ``n`` (transitive closure over the Boolean semiring, all-pairs
   distances over min-plus), ``O(log n)`` squarings.
 
-Engine selection matches :mod:`repro.runtime`: rings may use the fast §2.2
-engine; selection semirings run on §2.1.
+Engine selection matches :mod:`repro.engine`: pass ``method`` (or a bound
+``session``) to run rings on the fast §2.2 engine instead of the default
+§2.1 semiring engine -- e.g. ``matrix_power(clique, a, k, PLUS_TIMES,
+method="bilinear")`` squares through Strassen farms.
 """
 
 from __future__ import annotations
-
-import math
 
 import numpy as np
 
 from repro.algebra.semirings import PLUS_TIMES, Semiring
 from repro.clique.model import CongestedClique
-from repro.matmul.semiring3d import semiring_matmul
+from repro.engine import EngineSession
+
+
+def _session(
+    clique: CongestedClique,
+    semiring: Semiring,
+    method: str | None,
+    session: EngineSession | None,
+) -> EngineSession:
+    if session is not None:
+        if session.clique is not clique:
+            raise ValueError("session is bound to a different clique")
+        if session.algebra is not semiring:
+            raise ValueError(
+                f"session is bound to {getattr(session.algebra, 'name', '?')!r}, "
+                f"not the requested semiring {semiring.name!r}"
+            )
+        return session
+    return EngineSession(clique, method or "semiring", semiring)
 
 
 def matrix_power(
@@ -31,6 +51,8 @@ def matrix_power(
     exponent: int,
     semiring: Semiring = PLUS_TIMES,
     *,
+    method: str | None = None,
+    session: EngineSession | None = None,
     phase: str = "matrix-power",
 ) -> np.ndarray:
     """``matrix^exponent`` over a semiring, by binary exponentiation.
@@ -38,39 +60,13 @@ def matrix_power(
     ``exponent = 0`` returns the multiplicative identity pattern for the
     common semirings (1 on the diagonal for plus-times/Boolean, 0-diagonal /
     zero-elsewhere for min-plus style selection semirings).
-    """
-    if exponent < 0:
-        raise ValueError(f"exponent must be >= 0, got {exponent}")
-    n = clique.n
-    matrix = np.asarray(matrix, dtype=np.int64)
-    if matrix.shape != (n, n):
-        raise ValueError(f"matrix must be {n} x {n}")
-    if exponent == 0:
-        identity = semiring.zeros((n, n))
-        np.fill_diagonal(identity, semiring.one_value)
-        return identity
 
-    result: np.ndarray | None = None
-    base = matrix
-    e = exponent
-    step = 0
-    while e:
-        if e & 1:
-            result = (
-                base
-                if result is None
-                else semiring_matmul(
-                    clique, result, base, semiring, phase=f"{phase}/mul{step}"
-                )
-            )
-        e >>= 1
-        if e:
-            base = semiring_matmul(
-                clique, base, base, semiring, phase=f"{phase}/sq{step}"
-            )
-        step += 1
-    assert result is not None
-    return result
+    ``method``/``session`` select the engine (default: §2.1 semiring
+    engine); ring semirings may run on the fast §2.2 engine.
+    """
+    return _session(clique, semiring, method, session).power(
+        matrix, exponent, phase=phase
+    )
 
 
 def closure(
@@ -78,6 +74,8 @@ def closure(
     matrix: np.ndarray,
     semiring: Semiring,
     *,
+    method: str | None = None,
+    session: EngineSession | None = None,
     phase: str = "closure",
 ) -> np.ndarray:
     """Sum of all powers up to ``n`` -- "paths of any length" semantics.
@@ -85,16 +83,13 @@ def closure(
     Implemented as ``ceil(log2 n)`` squarings of ``A (+) I``-style
     accumulation: ``B <- B (x) B (+) A`` starting from ``B = A``, which
     after ``t`` steps covers all walks of length ``<= 2^t`` (paper eq. (4),
-    the directed-girth recurrence, generalised to any semiring).
+    the directed-girth recurrence, generalised to any semiring).  The input
+    is converted to ``int64`` once and the session's cached plans carry all
+    squarings.
     """
-    n = clique.n
-    accum = np.asarray(matrix, dtype=np.int64)
-    for step in range(max(1, math.ceil(math.log2(max(2, n))))):
-        squared = semiring_matmul(
-            clique, accum, accum, semiring, phase=f"{phase}/sq{step}"
-        )
-        accum = semiring.add(squared, np.asarray(matrix, dtype=np.int64))
-    return accum
+    return _session(clique, semiring, method, session).closure(
+        matrix, absorb="matrix", phase=phase
+    )
 
 
 __all__ = ["matrix_power", "closure"]

@@ -25,11 +25,34 @@ from repro.clique.messages import words_for_value
 class RingOps:
     """Interface: local block product + honest per-entry word widths."""
 
+    #: registry name (sharded-executor workers resolve rings by name).
+    name: str = "abstract"
+
     #: number of trailing array axes an entry occupies (0 for scalars).
     trailing_axes: int = 0
 
     def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def matmul_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Batched block product over a leading batch axis.
+
+        Semantically ``stack([matmul(x[b], y[b]) for b])`` with identical
+        values; this generic fallback loops, scalar rings override with one
+        vectorised call.
+        """
+        return np.stack(
+            [self.matmul(x[b], y[b]) for b in range(np.asarray(x).shape[0])]
+        )
+
+    def out_trailing(self, x: np.ndarray, y: np.ndarray) -> tuple[int, ...]:
+        """Trailing (ring-axis) shape of a product of ``x`` and ``y`` blocks.
+
+        Lets the executor pre-allocate shared output buffers without
+        computing a probe product (the polynomial ring widens its degree
+        axis under convolution).
+        """
+        return ()
 
     def entry_words(self, arr: np.ndarray, word_bits: int) -> int:
         """Words per entry when shipping (a sub-tensor of) ``arr``."""
@@ -49,10 +72,14 @@ class RingOps:
 class IntegerRingOps(RingOps):
     """Plain integer matrices (``int64``)."""
 
+    name = "integer"
     trailing_axes = 0
 
     def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return x @ y
+
+    def matmul_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return np.matmul(x, y)
 
     def entry_words(self, arr: np.ndarray, word_bits: int) -> int:
         arr = np.asarray(arr)
@@ -68,10 +95,15 @@ class PolynomialRingOps(RingOps):
     Lemma 18's round bound charges.
     """
 
+    name = "polynomial"
     trailing_axes = 1
 
     def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return poly_matmul(x, y)
+
+    def out_trailing(self, x: np.ndarray, y: np.ndarray) -> tuple[int, ...]:
+        # Convolution of degree-(Da-1) and degree-(Db-1) polynomials.
+        return (np.asarray(x).shape[-1] + np.asarray(y).shape[-1] - 1,)
 
     def entry_words(self, arr: np.ndarray, word_bits: int) -> int:
         arr = np.asarray(arr)
@@ -83,4 +115,26 @@ class PolynomialRingOps(RingOps):
 INTEGER_RING = IntegerRingOps()
 POLYNOMIAL_RING = PolynomialRingOps()
 
-__all__ = ["RingOps", "IntegerRingOps", "PolynomialRingOps", "INTEGER_RING", "POLYNOMIAL_RING"]
+_RINGS_BY_NAME: dict[str, RingOps] = {
+    r.name: r for r in (INTEGER_RING, POLYNOMIAL_RING)
+}
+
+
+def get_ring(name: str) -> RingOps:
+    """Look a ring singleton up by ``name`` (sharded-executor workers)."""
+    try:
+        return _RINGS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ring {name!r} (known: {sorted(_RINGS_BY_NAME)})"
+        ) from None
+
+
+__all__ = [
+    "RingOps",
+    "IntegerRingOps",
+    "PolynomialRingOps",
+    "INTEGER_RING",
+    "POLYNOMIAL_RING",
+    "get_ring",
+]

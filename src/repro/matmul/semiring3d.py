@@ -22,15 +22,26 @@ which §3.3 turns into routing tables.  Witnesses ride along with the data
 (doubling payload width) and fall out of the local block products for free,
 exactly because the semiring engine takes arg-min locally.
 
-Implementation note: both exchanges run on the simulator's **array-native
-fast path** (:meth:`~repro.clique.model.CongestedClique.route_array`).
-Every piece §2.1 ships is a contiguous ``q^2``-entry row slice, so each
-step's whole traffic is three NumPy arrays (destinations, stacked pieces,
-widths) instead of ``O(n^{4/3})`` Python tuples; the charged round counts
-are bit-identical to the tuple formulation (see the equivalence tests).
+Implementation notes:
+
+* Both exchanges run on the simulator's **array-native fast path**
+  (:meth:`~repro.clique.model.CongestedClique.route_array`); the charged
+  round counts are bit-identical to the tuple formulation (see the
+  equivalence tests).
+* The exchange pattern is input-independent, so every static index array
+  (destinations, tags, per-node block bases, inbox composition) is computed
+  once per clique size and memoised in a :class:`CubePlan` -- repeated
+  squarings (APSP, girth, closure) replan nothing.
+* The ``n`` local block products of step 2 run as **one batched call** on
+  the clique's :class:`~repro.clique.executor.LocalExecutor`, which the
+  sharded backend partitions over node ranges; values (hence widths and
+  rounds) are bit-identical across backends.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -45,10 +56,76 @@ from repro.matmul.layout import CubeLayout
 #: implementation bug overshoots by far more).
 _LOAD_SLACK = 4
 
-#: Piece tags for the step-1 exchange (uncharged metadata, standing in for
-#: the ``("S", ...)`` / ``("T", ...)`` tuple headers of the old path).
-_TAG_S = 0
-_TAG_T = 1
+@dataclass(frozen=True)
+class CubePlan:
+    """Input-independent schedule of one §2.1 product on an ``n``-clique.
+
+    Everything here is a pure function of the clique size: destination
+    arrays for both routed exchanges and the decode plan (which received
+    piece is an S piece, where each node's block product sits in the global
+    index space).  Memoised via :func:`cube_plan`, so an engine session's
+    ``ceil(log n)`` squarings share one plan instead of replanning per
+    call.
+    """
+
+    layout: CubeLayout
+    #: first digit of every node id, ``(n,)``.
+    v1_of: np.ndarray
+    #: step-1 destinations, ``(n, 2 q^2)`` (S pieces then T pieces).
+    dests1: np.ndarray
+    #: step-1 decode plan: mask of S pieces in each node's sorted inbox,
+    #: ``(n, 2 q^2)`` -- the communication pattern is oblivious, so
+    #: receivers know statically which piece is which (no headers shipped,
+    #: exactly as the analysis assumes).
+    from_s: np.ndarray
+    #: step-3 destinations, ``(n, q^2)``: row owners of each product row.
+    dests3: np.ndarray
+    #: global inner-index base of each node's block product, ``(n,)``.
+    k_base: np.ndarray
+
+    @property
+    def q(self) -> int:
+        return self.layout.q
+
+
+@lru_cache(maxsize=None)
+def cube_plan(n: int) -> CubePlan:
+    """The memoised :class:`CubePlan` for a clique of ``n = q^3`` nodes."""
+    layout = CubeLayout.for_clique(n)
+    q = layout.q
+    q2 = q * q
+    ids = np.arange(n, dtype=np.int64)
+    v1_of = ids // q2
+    v2_of = (ids // q) % q
+    # Node v sends S[v, u2**] to each u in v1** and T[v, w3**] to each w in
+    # *v1* (i.e. w2 = v1); destinations in the tuple path's emission order
+    # (S pieces by (u2, u3), then T pieces by (w1, w3)).
+    s_dests = v1_of[:, None] * q2 + np.arange(q2, dtype=np.int64)[None, :]
+    w1w3 = (
+        np.arange(q, dtype=np.int64)[:, None] * q2
+        + np.arange(q, dtype=np.int64)[None, :]
+    ).reshape(-1)
+    t_dests = (v1_of * q)[:, None] + w1w3[None, :]
+    # Node u's inbox holds q^2 S pieces from the senders in u1** and q^2 T
+    # pieces from the senders in u2**, sorted by (sender, emission order):
+    # all S first when u1 < u2, all T first when u1 > u2, and S/T
+    # alternating per sender when u1 == u2 (each sender emits its S piece
+    # before its T piece).
+    from_s = np.zeros((n, 2 * q2), dtype=bool)
+    from_s[v1_of < v2_of, :q2] = True
+    from_s[v1_of > v2_of, q2:] = True
+    from_s[v1_of == v2_of, 0::2] = True
+    return CubePlan(
+        layout=layout,
+        v1_of=v1_of,
+        dests1=np.concatenate([s_dests, t_dests], axis=1),
+        from_s=from_s,
+        # Step 3: node v holds P^{(v2)}[v1**, v3**] and returns row u's
+        # slice to node u for each u in v1** -- the same id range as the
+        # S-piece destinations.
+        dests3=s_dests,
+        k_base=v2_of * q2,
+    )
 
 
 def semiring_matmul(
@@ -77,8 +154,8 @@ def semiring_matmul(
         ``P``, or ``(P, W)`` when ``with_witnesses`` is set.
     """
     n = clique.n
-    layout = CubeLayout.for_clique(n)
-    q = layout.q
+    plan = cube_plan(n)
+    q = plan.q
     s = np.ascontiguousarray(np.asarray(s, dtype=np.int64))
     t = np.ascontiguousarray(np.asarray(t, dtype=np.int64))
     if s.shape != (n, n) or t.shape != (n, n):
@@ -89,26 +166,11 @@ def semiring_matmul(
     q2 = q * q
 
     # ---------------- Step 1: distribute the entries. ------------------- #
-    # Node v sends S[v, u2**] to each u in v1** and T[v, w3**] to each w in
-    # *v1* (i.e. w2 = v1), so that node u assembles S[u1**, u2**] and
-    # T[u2**, u3**].  Each node ships 2 q^2 submatrices of q^2 entries:
-    # 2 n^{4/3} words at unit width.  All pieces are q^2-entry row slices,
-    # so the whole step is one array-native routed exchange.
-    v1_of = np.arange(n, dtype=np.int64) // q2
+    # Each node ships 2 q^2 submatrices of q^2 entries: 2 n^{4/3} words at
+    # unit width.  All pieces are q^2-entry row slices, so the whole step is
+    # one array-native routed exchange on the plan's static destinations.
     s3 = s.reshape(n, q, q2)  # s3[v, u2] = S[v, u2**]
     t3 = t.reshape(n, q, q2)  # t3[v, w3] = T[v, w3**]
-
-    # Destinations, in the tuple path's emission order (S pieces by
-    # (u2, u3), then T pieces by (w1, w3)).
-    s_dests = v1_of[:, None] * q2 + np.arange(q2, dtype=np.int64)[None, :]
-    w1w3 = (
-        np.arange(q, dtype=np.int64)[:, None] * q2
-        + np.arange(q, dtype=np.int64)[None, :]
-    ).reshape(-1)
-    t_dests = (v1_of * q)[:, None] + w1w3[None, :]
-    dests = np.concatenate([s_dests, t_dests], axis=1)  # (n, 2 q^2)
-
-    # Pieces: each S slice goes to q destinations, each T slice to q.
     s_pieces = np.repeat(s3, q, axis=1)  # (n, q^2, q^2), row (u2 q + u3)
     t_pieces = np.tile(t3, (1, q, 1))  # (n, q^2, q^2), row (w1 q + w3)
     pieces = np.concatenate([s_pieces, t_pieces], axis=1)
@@ -122,70 +184,56 @@ def semiring_matmul(
     )
     widths = np.concatenate([s_widths, t_widths], axis=1)
 
-    tags = np.empty((n, 2 * q2), dtype=np.int64)
-    tags[:, :q2] = _TAG_S
-    tags[:, q2:] = _TAG_T
-
     max_abs = max(
         int(np.max(np.abs(s))) if s.size else 0,
         int(np.max(np.abs(t))) if t.size else 0,
     )
     max_entry_words = words_for_value(max_abs, word_bits)
-    inboxes = clique.route_array(
-        list(dests),
-        list(pieces),
-        widths=list(widths),
-        tags=list(tags),
+    received = clique.route_array(
+        plan.dests1,
+        pieces,
+        widths=widths,
         phase=f"{phase}/step1-distribute",
         expect_max_load=_LOAD_SLACK * 2 * q2 * q2 * max_entry_words,
+        flat=True,
     )
 
     # ---------------- Step 2: local block products. --------------------- #
-    products: list[np.ndarray] = []
-    witness_blocks: list[np.ndarray | None] = []
-    for v in range(n):
-        v1, v2, _v3 = layout.digits(v)
-        s_base, _ = layout.first_digit_range(v1)
-        t_base, _ = layout.first_digit_range(v2)
-        inbox = inboxes[v]
-        from_s = inbox.tags == _TAG_S
-        s_block = semiring.zeros((q2, q2))
-        t_block = semiring.zeros((q2, q2))
-        s_block[inbox.sources[from_s] - s_base] = inbox.blocks[from_s]
-        t_block[inbox.sources[~from_s] - t_base] = inbox.blocks[~from_s]
-        if with_witnesses:
-            prod, wit = semiring.matmul_with_witness(s_block, t_block)
-            k_base, _ = layout.first_digit_range(v2)
-            witness_blocks.append(wit + k_base)  # local k -> global node id
-        else:
-            prod = semiring.matmul(s_block, t_block)
-            witness_blocks.append(None)
-        products.append(prod)
+    # Node u = (u1, u2, u3) assembles S[u1**, u2**] and T[u2**, u3**].  The
+    # inbox composition is the plan's static decode (exactly one S piece
+    # from each of the q^2 senders in u1**, ascending -- i.e. already in
+    # block-row order -- and one T piece from each sender in u2**).  The n
+    # block products then run as one batched executor call -- the unit of
+    # work the sharded backend partitions over node ranges.
+    inbox_blocks = received.uniform_blocks(2 * q2)
+    s_blocks = inbox_blocks[plan.from_s].reshape(n, q2, q2)
+    t_blocks = inbox_blocks[~plan.from_s].reshape(n, q2, q2)
+    if with_witnesses:
+        products, wit_blocks = clique.executor.semiring_products(
+            semiring, s_blocks, t_blocks, with_witnesses=True
+        )
+        # Local inner index -> global node id, per block product.
+        wit_blocks = wit_blocks + plan.k_base[:, None, None]
+    else:
+        products = clique.executor.semiring_products(semiring, s_blocks, t_blocks)
 
     # ---------------- Step 3: distribute the partial products. ---------- #
     # Node v holds P^{(v2)}[v1**, v3**]; it sends row u's slice to node u
     # for each u in v1**.  n^{4/3} words each way (x2 with witnesses).
     witness_words = words_for_value(n, word_bits)
-    row_ids = np.arange(q2, dtype=np.int64)
-    dests3: list[np.ndarray] = []
-    blocks3: list[np.ndarray] = []
-    widths3: list[np.ndarray] = []
-    for v in range(n):
-        v1, _v2, _v3 = layout.digits(v)
-        base, _ = layout.first_digit_range(v1)
-        prod = products[v]
-        row_widths = block_widths(prod, word_bits)
-        dests3.append(base + row_ids)
-        if with_witnesses:
-            # Ship each product row with its witness row as one (2, q^2)
-            # piece; the witness half is charged at witness_words/entry.
-            blocks3.append(np.stack([prod, witness_blocks[v]], axis=1))
-            widths3.append(row_widths + q2 * witness_words)
-        else:
-            blocks3.append(prod)
-            widths3.append(row_widths)
-    inboxes = clique.route_array(
-        dests3,
+    row_widths = block_widths(products.reshape(n * q2, q2), word_bits).reshape(
+        n, q2
+    )
+    if with_witnesses:
+        # Ship each product row with its witness row as one (2, q^2) piece;
+        # the witness half is charged at witness_words/entry.
+        blocks3 = np.stack([products, wit_blocks], axis=2)
+        widths3 = row_widths + q2 * witness_words
+    else:
+        blocks3 = products
+        widths3 = row_widths
+    received = clique.route_array(
+        plan.dests3,
         blocks3,
         widths=widths3,
         phase=f"{phase}/step3-recombine",
@@ -193,40 +241,31 @@ def semiring_matmul(
         * q2
         * q2
         * (max_entry_words + (witness_words if with_witnesses else 0)),
+        flat=True,
     )
 
     # ---------------- Step 4: assemble the result rows. ----------------- #
-    p = semiring.zeros((n, n))
-    w_out = np.full((n, n), -1, dtype=np.int64) if with_witnesses else None
-    for v in range(n):
-        inbox = inboxes[v]
-        # Sender u = (u1, u2, u3) contributed the slot (w2 = u2, cols u3**).
-        u2s = (inbox.sources // q) % q
-        u3s = inbox.sources % q
-        row3 = semiring.zeros((q, q, q2))  # one slot per middle digit w2
-        if with_witnesses:
-            row_wit3 = np.zeros((q, q, q2), dtype=np.int64)
-            row3[u2s, u3s] = inbox.blocks[:, 0]
-            row_wit3[u2s, u3s] = inbox.blocks[:, 1]
-            row = row3.reshape(q, n)
-            row_wit = row_wit3.reshape(q, n)
-            acc, acc_w = row[0], row_wit[0]
-            for w2 in range(1, q):
-                acc, acc_w = semiring.add_with_witness(
-                    acc, acc_w, row[w2], row_wit[w2]
-                )
-            p[v] = acc
-            w_out[v] = acc_w
-        else:
-            row3[u2s, u3s] = inbox.blocks
-            row = row3.reshape(q, n)
-            acc = row[0]
-            for w2 in range(1, q):
-                acc = semiring.add(acc, row[w2])
-            p[v] = acc
+    # Node v receives exactly one piece from each sender u in v1**; sender
+    # u = (u1, u2, u3) contributed the slot (w2 = u2, cols u3**), so the
+    # ascending-source inbox *is* the (w2, u3) grid -- a reshape, no
+    # scatter.  The q-way semiring reduction runs batched over all nodes,
+    # in the same w2 order as the per-node loop (bit-identical values and
+    # witness tie-breaks).
+    recombined = received.uniform_blocks(q2)
     if with_witnesses:
-        return p, w_out
-    return p
+        rows = recombined[:, :, 0].reshape(n, q, n)
+        row_wits = recombined[:, :, 1].reshape(n, q, n)
+        acc, acc_w = rows[:, 0], row_wits[:, 0]
+        for w2 in range(1, q):
+            acc, acc_w = semiring.add_with_witness(
+                acc, acc_w, rows[:, w2], row_wits[:, w2]
+            )
+        return acc, acc_w
+    rows = recombined.reshape(n, q, n)
+    acc = rows[:, 0]
+    for w2 in range(1, q):
+        acc = semiring.add(acc, rows[:, w2])
+    return acc
 
 
-__all__ = ["semiring_matmul"]
+__all__ = ["semiring_matmul", "CubePlan", "cube_plan"]

@@ -1,4 +1,4 @@
-"""Shared runtime glue between graphs and the matmul engines.
+"""Shared runtime glue between graphs and the engine sessions.
 
 Graph algorithms in the paper implicitly assume the clique size has whatever
 arithmetic shape the matmul engine needs ("assume for convenience that
@@ -10,6 +10,13 @@ inflates constants.
 
 It also provides :class:`RunResult`, the uniform return type of every
 application-level algorithm: the answer plus the communication bill.
+
+Engine dispatch lives in :mod:`repro.engine`: algorithms bind an
+:class:`~repro.engine.EngineSession` (clique + matmul method + algebra) and
+drive it through ``multiply``/``square``/``power``/``closure``.  The
+``integer_product``/``boolean_product`` helpers below are thin one-shot
+wrappers over that session API, kept for callers that need a single product
+without holding a session.
 """
 
 from __future__ import annotations
@@ -21,15 +28,16 @@ import numpy as np
 
 from repro.algebra.semirings import BOOLEAN, PLUS_TIMES
 from repro.clique.accounting import CostMeter
-from repro.clique.model import CongestedClique, ScheduleMode
+from repro.clique.executor import make_executor
+from repro.clique.model import CongestedClique
 from repro.constants import INF
-from repro.matmul.bilinear_clique import bilinear_matmul, default_algorithm
-from repro.matmul.layout import next_cube, next_square
-from repro.matmul.naive import broadcast_matmul
-from repro.matmul.semiring3d import semiring_matmul
-
-#: The three matmul engines applications can run on.
-MATMUL_METHODS = ("bilinear", "semiring", "naive")
+from repro.engine import (
+    MATMUL_METHODS,
+    EngineSession,
+    make_clique,
+    open_session,
+    required_clique_size,
+)
 
 
 @dataclass
@@ -50,30 +58,6 @@ class RunResult:
     clique_size: int
     meter: CostMeter
     extras: dict[str, Any] = field(default_factory=dict)
-
-
-def required_clique_size(n: int, method: str) -> int:
-    """Smallest clique size ``>= n`` on which ``method`` can run."""
-    if method == "semiring":
-        return next_cube(n)
-    if method == "bilinear":
-        return next_square(n)
-    if method == "naive":
-        return n
-    raise ValueError(f"unknown matmul method {method!r}")
-
-
-def make_clique(
-    n: int,
-    method: str = "bilinear",
-    *,
-    mode: ScheduleMode = ScheduleMode.FAST,
-    word_bits: int | None = None,
-) -> CongestedClique:
-    """A clique sized for an ``n``-node problem under ``method``."""
-    return CongestedClique(
-        required_clique_size(n, method), mode=mode, word_bits=word_bits
-    )
 
 
 def pad_matrix(matrix: np.ndarray, size: int, fill: int = 0) -> np.ndarray:
@@ -104,16 +88,8 @@ def integer_product(
     *,
     phase: str,
 ) -> np.ndarray:
-    """Integer matrix product under the chosen engine."""
-    if method == "bilinear":
-        return bilinear_matmul(
-            clique, x, y, default_algorithm(clique.n), phase=phase
-        )
-    if method == "semiring":
-        return semiring_matmul(clique, x, y, PLUS_TIMES, phase=phase)
-    if method == "naive":
-        return broadcast_matmul(clique, x, y, PLUS_TIMES, phase=phase)
-    raise ValueError(f"unknown matmul method {method!r}")
+    """One integer matrix product under the chosen engine (session wrapper)."""
+    return EngineSession(clique, method, PLUS_TIMES).multiply(x, y, phase=phase)
 
 
 def boolean_product(
@@ -124,7 +100,7 @@ def boolean_product(
     *,
     phase: str,
 ) -> np.ndarray:
-    """Boolean matrix product under the chosen engine.
+    """One Boolean matrix product under the chosen engine (session wrapper).
 
     The semiring engines (``"semiring"``, ``"naive"``) run directly over
     the Boolean semiring: partial products stay 0/1 (one word -- the
@@ -134,14 +110,7 @@ def boolean_product(
     needs a *ring*, so it computes the integer product of the 0/1 matrices
     and thresholds -- exactly the reduction the paper's Corollary 2 uses.
     """
-    xb = (x > 0).astype(np.int64)
-    yb = (y > 0).astype(np.int64)
-    if method == "semiring":
-        return semiring_matmul(clique, xb, yb, BOOLEAN, phase=phase)
-    if method == "naive":
-        return broadcast_matmul(clique, xb, yb, BOOLEAN, phase=phase)
-    product = integer_product(clique, xb, yb, method, phase=phase)
-    return (product > 0).astype(np.int64)
+    return EngineSession(clique, method, BOOLEAN).multiply(x, y, phase=phase)
 
 
 def or_broadcast(clique: CongestedClique, local_bits: list[bool], phase: str) -> bool:
@@ -167,8 +136,11 @@ def sum_broadcast(
 __all__ = [
     "RunResult",
     "MATMUL_METHODS",
+    "EngineSession",
+    "open_session",
     "required_clique_size",
     "make_clique",
+    "make_executor",
     "pad_matrix",
     "integer_product",
     "boolean_product",

@@ -30,11 +30,12 @@ from itertools import combinations
 
 import numpy as np
 
+from repro.algebra.semirings import BOOLEAN
 from repro.clique.model import CongestedClique, ScheduleMode
+from repro.engine import EngineSession
 from repro.graphs.graphs import Graph
 from repro.runtime import (
     RunResult,
-    boolean_product,
     make_clique,
     or_broadcast,
     pad_matrix,
@@ -55,14 +56,18 @@ def detect_colourful_cycle(
     k: int,
     *,
     method: str = "bilinear",
+    session: EngineSession | None = None,
     phase: str = "colour-coding",
 ) -> bool:
     """Lemma 11: is there a cycle using each of the ``k`` colours once?
 
     ``adjacency`` is the (padded) 0/1 matrix, ``colours[v] in [0, k)`` the
     nodes' colours (padded nodes may carry any colour -- they have no edges).
+    Callers running many trials pass one bound Boolean ``session`` so every
+    product shares its cached plans.
     """
     n = clique.n
+    session = session or EngineSession(clique, method, BOOLEAN)
     a = (np.asarray(adjacency) > 0).astype(np.int64)
     # Nodes announce their colours once so every node can build the masks.
     clique.broadcast(list(colours), words=1, phase=f"{phase}/colours")
@@ -99,22 +104,14 @@ def detect_colourful_cycle(
                     (zc,) = z
                     # A C(z) is a column-masked A: one product suffices.
                     middle = a * colour_mask[zc][None, :]
-                    term = boolean_product(
-                        clique, left, middle, method, phase=f"{phase}/prod"
-                    )
+                    term = session.multiply(left, middle, phase=f"{phase}/prod")
                 elif len(y) == 1:
                     (yc,) = y
                     middle = a * colour_mask[yc][:, None]
-                    term = boolean_product(
-                        clique, middle, right, method, phase=f"{phase}/prod"
-                    )
+                    term = session.multiply(middle, right, phase=f"{phase}/prod")
                 else:
-                    t1 = boolean_product(
-                        clique, left, a, method, phase=f"{phase}/prod"
-                    )
-                    term = boolean_product(
-                        clique, t1, right, method, phase=f"{phase}/prod"
-                    )
+                    t1 = session.multiply(left, a, phase=f"{phase}/prod")
+                    term = session.multiply(t1, right, phase=f"{phase}/prod")
                 acc |= term
             mat = acc
         memo[x] = mat
@@ -158,6 +155,7 @@ def detect_k_cycle(
         raise ValueError(f"cycles need k >= 3, got {k}")
     rng = rng if rng is not None else np.random.default_rng(0)
     clique = clique or make_clique(graph.n, method, mode=mode)
+    session = EngineSession(clique, method, BOOLEAN)
     a = pad_matrix(graph.adjacency, clique.n)
     budget = trials if trials is not None else default_trials(
         k, graph.n, failure_probability
@@ -168,7 +166,7 @@ def detect_k_cycle(
         used += 1
         colours = rng.integers(0, k, size=clique.n)
         if detect_colourful_cycle(
-            clique, a, colours, k, method=method, phase=f"kcycle{k}"
+            clique, a, colours, k, session=session, phase=f"kcycle{k}"
         ):
             found = True
             break

@@ -29,10 +29,10 @@ import numpy as np
 
 from repro.clique.messages import words_for_value
 from repro.clique.model import CongestedClique, ScheduleMode
+from repro.engine import EngineSession
 from repro.graphs.graphs import Graph
 from repro.runtime import (
     RunResult,
-    integer_product,
     make_clique,
     pad_matrix,
     sum_broadcast,
@@ -59,8 +59,9 @@ def count_triangles(
 ) -> RunResult:
     """Corollary 2: the number of triangles, in ``O(n^rho)`` rounds."""
     clique = clique or make_clique(graph.n, method, mode=mode)
+    session = EngineSession(clique, method)
     a = pad_matrix(graph.adjacency, clique.n)
-    a_sq = integer_product(clique, a, a, method, phase="triangles/A2")
+    a_sq = session.square(a, phase="triangles/A2")
     if graph.directed:
         columns = _transpose_matrix(clique, a, phase="triangles/transpose-A")
         local = [int(a_sq[v] @ columns[v]) for v in range(clique.n)]
@@ -87,8 +88,9 @@ def count_four_cycles(
 ) -> RunResult:
     """Corollary 2: the number of 4-cycles, in ``O(n^rho)`` rounds."""
     clique = clique or make_clique(graph.n, method, mode=mode)
+    session = EngineSession(clique, method)
     a = pad_matrix(graph.adjacency, clique.n)
-    a_sq = integer_product(clique, a, a, method, phase="four-cycles/A2")
+    a_sq = session.square(a, phase="four-cycles/A2")
     if graph.directed:
         sq_columns = _transpose_matrix(
             clique, a_sq, phase="four-cycles/transpose-A2"
@@ -136,9 +138,10 @@ def count_five_cycles(
     if graph.directed:
         raise ValueError("the 5-cycle trace formula implemented is undirected-only")
     clique = clique or make_clique(graph.n, method, mode=mode)
+    session = EngineSession(clique, method)
     a = pad_matrix(graph.adjacency, clique.n)
-    a_sq = integer_product(clique, a, a, method, phase="five-cycles/A2")
-    a_cu = integer_product(clique, a_sq, a, method, phase="five-cycles/A3")
+    a_sq = session.square(a, phase="five-cycles/A2")
+    a_cu = session.multiply(a_sq, a, phase="five-cycles/A3")
     cu_columns = _transpose_matrix(clique, a_cu, phase="five-cycles/transpose-A3")
     local_tr5 = [int(a_sq[v] @ cu_columns[v]) for v in range(clique.n)]
     local_mix = []

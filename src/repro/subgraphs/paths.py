@@ -66,8 +66,10 @@ def _build_c_full(
     """Compute ``C([k])`` (paper eq. (3)) -- shared with the cycle detector."""
     from itertools import combinations
 
-    from repro.runtime import boolean_product
+    from repro.algebra.semirings import BOOLEAN
+    from repro.engine import EngineSession
 
+    session = EngineSession(clique, method, BOOLEAN)
     n = clique.n
     colour_mask = [colours == i for i in range(k)]
     memo: dict[frozenset[int], np.ndarray] = {}
@@ -95,25 +97,17 @@ def _build_c_full(
                 left, right = cmat(y), cmat(z)
                 if len(z) == 1:
                     (zc,) = z
-                    term = boolean_product(
-                        clique,
-                        left,
-                        a * colour_mask[zc][None, :],
-                        method,
-                        phase=f"{phase}/prod",
+                    term = session.multiply(
+                        left, a * colour_mask[zc][None, :], phase=f"{phase}/prod"
                     )
                 elif len(y) == 1:
                     (yc,) = y
-                    term = boolean_product(
-                        clique,
-                        a * colour_mask[yc][:, None],
-                        right,
-                        method,
-                        phase=f"{phase}/prod",
+                    term = session.multiply(
+                        a * colour_mask[yc][:, None], right, phase=f"{phase}/prod"
                     )
                 else:
-                    t1 = boolean_product(clique, left, a, method, phase=f"{phase}/prod")
-                    term = boolean_product(clique, t1, right, method, phase=f"{phase}/prod")
+                    t1 = session.multiply(left, a, phase=f"{phase}/prod")
+                    term = session.multiply(t1, right, phase=f"{phase}/prod")
                 acc |= term
             mat = acc
         memo[x] = mat

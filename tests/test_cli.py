@@ -24,6 +24,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["matmul", "49", "--engine", "quantum"])
 
+    def test_shards_flag_parsed(self):
+        args = build_parser().parse_args(["matmul", "49", "--shards", "4"])
+        assert args.shards == 4
+        args = build_parser().parse_args(["apsp", "10"])
+        assert args.shards == 1 and args.engine is None
+
+
+class TestEngineShardValidation:
+    def test_shards_beyond_clique_size_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["matmul", "16", "--shards", "99"])
+        assert "shards must be in [1, clique size 16]" in capsys.readouterr().err
+
+    def test_non_positive_shards_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["matmul", "16", "--shards", "0"])
+
+    def test_exact_apsp_rejects_bilinear_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["apsp", "10", "--variant", "exact", "--engine", "bilinear"])
+        assert "selection-semiring engine" in capsys.readouterr().err
+
+    def test_approx_apsp_rejects_semiring_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["apsp", "10", "--variant", "approx", "--engine", "semiring"])
+        assert "bilinear ring engine" in capsys.readouterr().err
+
+    def test_sharded_matmul_runs(self, capsys):
+        assert main(["matmul", "16", "--engine", "bilinear", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out and "correct=True" in out
+
+    def test_apsp_engine_naive_runs(self, capsys):
+        assert main(["apsp", "8", "--variant", "exact", "--engine", "naive"]) == 0
+        assert "exact match" in capsys.readouterr().out
+
 
 class TestCommands:
     @pytest.mark.parametrize(

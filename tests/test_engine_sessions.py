@@ -1,0 +1,217 @@
+"""The engine-session layer: binding rules, cached plans, shared loops.
+
+An :class:`~repro.engine.EngineSession` must (a) enforce Theorem 1's
+algebra/engine compatibility at construction, (b) produce the same products
+as the underlying engines it binds, (c) run the iterated-squaring loops
+(`power`/`closure`) that every §3 consumer shares, and (d) reuse one cached
+plan across all products of a clique size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra.semirings import BOOLEAN, MAX_MIN, MIN_PLUS, PLUS_TIMES
+from repro.clique.model import CongestedClique
+from repro.constants import INF
+from repro.engine import (
+    EngineBindingError,
+    EngineSession,
+    open_session,
+    required_clique_size,
+)
+from repro.matmul.bilinear_clique import bilinear_matmul, grid_plan
+from repro.matmul.distance import RingDistanceSession
+from repro.matmul.naive import broadcast_matmul
+from repro.matmul.powers import closure, matrix_power
+from repro.matmul.ringops import POLYNOMIAL_RING
+from repro.matmul.semiring3d import cube_plan, semiring_matmul
+
+
+class TestBindingRules:
+    def test_selection_semiring_rejects_bilinear(self):
+        clique = CongestedClique(16)
+        for semiring in (MIN_PLUS, MAX_MIN):
+            with pytest.raises(EngineBindingError):
+                EngineSession(clique, "bilinear", semiring)
+
+    def test_ring_ops_reject_non_bilinear_engines(self):
+        for method in ("semiring", "naive"):
+            with pytest.raises(EngineBindingError):
+                EngineSession(CongestedClique(27), method, POLYNOMIAL_RING)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown matmul method"):
+            EngineSession(CongestedClique(16), "quantum")
+
+    def test_witnesses_need_a_selection_semiring(self):
+        a = np.eye(16, dtype=np.int64)
+        session = EngineSession(CongestedClique(16), "bilinear", BOOLEAN)
+        with pytest.raises(EngineBindingError):
+            session.multiply(a, a, with_witnesses=True)
+        session = EngineSession(CongestedClique(27), "semiring", PLUS_TIMES)
+        with pytest.raises(EngineBindingError):
+            session.multiply(
+                np.eye(27, dtype=np.int64), np.eye(27, dtype=np.int64),
+                with_witnesses=True,
+            )
+
+    def test_ring_sessions_have_no_closure(self):
+        session = EngineSession(CongestedClique(16), "bilinear", POLYNOMIAL_RING)
+        with pytest.raises(EngineBindingError):
+            session.closure(np.zeros((16, 16, 1), dtype=np.int64))
+
+    def test_open_session_validates_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            open_session(10, "bilinear", shards=0)
+        with pytest.raises(ValueError, match="shards"):
+            open_session(10, "bilinear", shards=17)  # clique is 16
+        with pytest.raises(ValueError, match="shards"):
+            open_session(10, "bilinear", clique=CongestedClique(16), shards=4)
+
+    def test_open_session_sizes_the_clique(self):
+        for method in ("bilinear", "semiring", "naive"):
+            session = open_session(10, method)
+            assert session.n == required_clique_size(10, method)
+
+
+class TestProductsMatchEngines:
+    def test_integer_products_match_all_engines(self, rng):
+        s = rng.integers(-9, 10, (16, 16))
+        t = rng.integers(-9, 10, (16, 16))
+        s27 = np.zeros((27, 27), dtype=np.int64)
+        t27 = np.zeros((27, 27), dtype=np.int64)
+        s27[:16, :16], t27[:16, :16] = s, t
+        bil = EngineSession(CongestedClique(16), "bilinear")
+        assert np.array_equal(bil.multiply(s, t), s @ t)
+        sem = EngineSession(CongestedClique(27), "semiring")
+        assert np.array_equal(
+            sem.multiply(s27, t27),
+            semiring_matmul(CongestedClique(27), s27, t27, PLUS_TIMES),
+        )
+        nai = EngineSession(CongestedClique(16), "naive")
+        assert np.array_equal(
+            nai.multiply(s, t),
+            broadcast_matmul(CongestedClique(16), s, t, PLUS_TIMES),
+        )
+
+    def test_boolean_products_threshold_and_match(self, rng):
+        a = (rng.random((16, 16)) < 0.4).astype(np.int64) * 7  # non-0/1 input
+        b = (rng.random((16, 16)) < 0.4).astype(np.int64)
+        expect = (((a > 0).astype(np.int64) @ b) > 0).astype(np.int64)
+        for method, size in (("bilinear", 16), ("naive", 16), ("semiring", 27)):
+            ap = np.zeros((size, size), dtype=np.int64)
+            bp = np.zeros((size, size), dtype=np.int64)
+            ap[:16, :16], bp[:16, :16] = a, b
+            session = EngineSession(CongestedClique(size), method, BOOLEAN)
+            assert np.array_equal(session.multiply(ap, bp)[:16, :16], expect)
+
+    def test_witness_product_matches_engine(self, rng):
+        d = rng.integers(0, 50, (27, 27))
+        d[rng.random((27, 27)) < 0.3] = INF
+        session = EngineSession(CongestedClique(27), "semiring", MIN_PLUS)
+        got_p, got_w = session.multiply(d, d, with_witnesses=True)
+        ref_p, ref_w = semiring_matmul(
+            CongestedClique(27), d, d, MIN_PLUS, with_witnesses=True
+        )
+        assert np.array_equal(got_p, ref_p)
+        assert np.array_equal(got_w, ref_w)
+
+    def test_rounds_match_direct_engine_calls(self, rng):
+        s = rng.integers(-9, 10, (16, 16))
+        session = open_session(16, "bilinear")
+        session.multiply(s, s)
+        direct = CongestedClique(16)
+        bilinear_matmul(direct, s, s)
+        assert session.rounds == direct.rounds
+
+
+class TestIteratedSquaring:
+    def test_power_binary_exponentiation(self, rng):
+        a = rng.integers(0, 3, (16, 16))
+        session = EngineSession(CongestedClique(16), "bilinear")
+        assert np.array_equal(session.power(a, 3), a @ a @ a)
+        identity = session.power(a, 0)
+        assert np.array_equal(identity, np.eye(16, dtype=np.int64))
+
+    def test_power_validates_inputs(self):
+        session = EngineSession(CongestedClique(16), "bilinear")
+        with pytest.raises(ValueError, match="exponent"):
+            session.power(np.zeros((16, 16), dtype=np.int64), -1)
+        with pytest.raises(ValueError, match="matrix must be"):
+            session.power(np.zeros((4, 4), dtype=np.int64), 2)
+
+    def test_closure_reaches_transitive_closure(self):
+        # Path 0 -> 1 -> 2 -> ... on the Boolean semiring.
+        n = 16
+        a = np.zeros((n, n), dtype=np.int64)
+        a[np.arange(n - 1), np.arange(1, n)] = 1
+        session = EngineSession(CongestedClique(n), "naive", BOOLEAN)
+        closed = session.closure(a, absorb="matrix")
+        expect = np.triu(np.ones((n, n), dtype=np.int64), k=1)
+        assert np.array_equal(closed, expect)
+
+    def test_matrix_power_and_closure_accept_ring_engines(self, rng):
+        """The powers entry points can run rings on the fast §2.2 engine."""
+        a = rng.integers(0, 2, (16, 16))
+        clique = CongestedClique(16)
+        got = matrix_power(clique, a, 4, PLUS_TIMES, method="bilinear")
+        assert np.array_equal(got, np.linalg.matrix_power(a, 4))
+        bool_closure = closure(
+            CongestedClique(16), a, BOOLEAN, method="bilinear"
+        )
+        reference = closure(CongestedClique(16), a, BOOLEAN, method="naive")
+        assert np.array_equal(bool_closure, reference)
+
+    def test_closure_witness_path_needs_next_hop(self):
+        session = EngineSession(CongestedClique(27), "semiring", MIN_PLUS)
+        with pytest.raises(ValueError, match="next_hop"):
+            session.closure(
+                np.zeros((27, 27), dtype=np.int64), with_witnesses=True
+            )
+
+
+class TestPlanCaching:
+    def test_cube_plan_memoised_across_sessions(self):
+        before = cube_plan.cache_info().hits
+        EngineSession(CongestedClique(27), "semiring", MIN_PLUS)
+        EngineSession(CongestedClique(27), "semiring", MAX_MIN)
+        assert cube_plan(27) is cube_plan(27)
+        assert cube_plan.cache_info().hits > before
+
+    def test_grid_plan_memoised_across_sessions(self):
+        s1 = EngineSession(CongestedClique(49), "bilinear")
+        s2 = EngineSession(CongestedClique(49), "bilinear")
+        assert s1.algorithm.d == s2.algorithm.d
+        assert grid_plan(49, s1.algorithm.d) is grid_plan(49, s2.algorithm.d)
+
+    def test_cube_plan_static_decode_mask(self):
+        plan = cube_plan(27)
+        # Every node receives exactly q^2 S pieces and q^2 T pieces.
+        assert plan.from_s.sum(axis=1).tolist() == [9] * 27
+        assert plan.dests1.shape == (27, 18)
+
+
+class TestRingDistanceSession:
+    def test_lemma18_session_multiply_and_closure(self, rng):
+        n = 16
+        d = rng.integers(1, 5, (n, n))
+        d[rng.random((n, n)) < 0.5] = INF
+        np.fill_diagonal(d, 0)
+        session = RingDistanceSession(CongestedClique(n), max_entry=8)
+        product = session.multiply(d, d)
+        # Oracle: capped min-plus product.
+        capped = np.where(d <= 8, d, INF)
+        expect = MIN_PLUS.cube_matmul_with_witness(capped, capped)[0]
+        expect = np.where(expect <= 16, expect, INF)
+        assert np.array_equal(np.where(product <= 16, product, INF), expect)
+
+    def test_lemma18_session_rejects_witnesses(self):
+        session = RingDistanceSession(CongestedClique(16), max_entry=4)
+        with pytest.raises(EngineBindingError):
+            session.multiply(
+                np.zeros((16, 16), dtype=np.int64),
+                np.zeros((16, 16), dtype=np.int64),
+                with_witnesses=True,
+            )

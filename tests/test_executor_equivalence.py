@@ -1,0 +1,200 @@
+"""Sharded vs serial executors: bit-identical values, rounds and meters.
+
+The local-compute executor only moves block products between processes --
+it must be invisible to everything else: identical answers, identical
+witness/routing tables, identical round charges and identical per-phase
+meter entries for every algorithm, on every engine.  These tests run the
+same workloads on both backends (one shared worker pool, fast-lane sizes)
+and compare everything; a `slow`-marked smoke test exercises the
+multiprocessing path at a bigger size for CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.semirings import ALL_SEMIRINGS, BOOLEAN, MIN_PLUS, PLUS_TIMES
+from repro.clique.executor import (
+    SERIAL_EXECUTOR,
+    ShardedExecutor,
+    make_executor,
+    shard_ranges,
+)
+from repro.clique.model import CongestedClique
+from repro.constants import INF
+from repro.distances import apsp_exact, girth_directed
+from repro.distances.components import connected_components
+from repro.engine import EngineSession
+from repro.graphs.generators import gnp_random_graph, random_weighted_graph
+from repro.matmul.ringops import INTEGER_RING, POLYNOMIAL_RING
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    """One worker pool for the whole module (sessions reuse it the same way)."""
+    executor = ShardedExecutor(2)
+    yield executor
+    executor.close()
+
+
+def _clique_pair(n: int, sharded_executor) -> tuple[CongestedClique, CongestedClique]:
+    return (
+        CongestedClique(n, executor=SERIAL_EXECUTOR),
+        CongestedClique(n, executor=sharded_executor),
+    )
+
+
+def assert_same_run(serial, shard):
+    """Two RunResults must agree on answer, rounds and every meter entry."""
+    if isinstance(serial.value, np.ndarray):
+        assert np.array_equal(serial.value, shard.value)
+    else:
+        assert serial.value == shard.value
+    assert serial.rounds == shard.rounds
+    assert serial.clique_size == shard.clique_size
+    assert serial.meter.phases == shard.meter.phases
+    for key, val in serial.extras.items():
+        other = shard.extras[key]
+        if isinstance(val, np.ndarray):
+            assert np.array_equal(val, other), key
+        else:
+            assert val == other, key
+
+
+class TestShardRanges:
+    def test_partition_covers_batch(self):
+        assert shard_ranges(10, 3) == [(0, 3), (3, 6), (6, 10)]
+        assert shard_ranges(2, 8) == [(0, 1), (1, 2)]
+        assert shard_ranges(0, 4) == []
+
+    def test_make_executor(self):
+        assert make_executor(1) is SERIAL_EXECUTOR
+        executor = make_executor(3)
+        assert isinstance(executor, ShardedExecutor)
+        assert executor.shards == 3
+        executor.close()
+        with pytest.raises(ValueError):
+            make_executor(0)
+
+
+class TestBatchProducts:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_semiring_products_identical(self, sharded, seed):
+        rng = np.random.default_rng(seed)
+        batch, m = int(rng.integers(2, 10)), int(rng.integers(1, 8))
+        for semiring in ALL_SEMIRINGS:
+            x = rng.integers(-20, 60, (batch, m, m))
+            y = rng.integers(-20, 60, (batch, m, m))
+            if semiring is MIN_PLUS:
+                x[rng.random(x.shape) < 0.3] = INF
+                y[rng.random(y.shape) < 0.3] = INF
+            ref = SERIAL_EXECUTOR.semiring_products(semiring, x, y)
+            got = sharded.semiring_products(semiring, x, y)
+            assert np.array_equal(ref, got), semiring.name
+            if semiring.has_witnesses:
+                rp, rw = SERIAL_EXECUTOR.semiring_products(
+                    semiring, x, y, with_witnesses=True
+                )
+                gp, gw = sharded.semiring_products(
+                    semiring, x, y, with_witnesses=True
+                )
+                assert np.array_equal(rp, gp), semiring.name
+                assert np.array_equal(rw, gw), semiring.name
+
+    def test_ring_products_identical(self, sharded, rng):
+        x = rng.integers(-9, 10, (7, 6, 6))
+        y = rng.integers(-9, 10, (7, 6, 6))
+        assert np.array_equal(
+            sharded.ring_products(INTEGER_RING, x, y),
+            SERIAL_EXECUTOR.ring_products(INTEGER_RING, x, y),
+        )
+        xp = rng.integers(0, 2, (5, 4, 4, 3))
+        yp = rng.integers(0, 2, (5, 4, 4, 2))
+        assert np.array_equal(
+            sharded.ring_products(POLYNOMIAL_RING, xp, yp),
+            SERIAL_EXECUTOR.ring_products(POLYNOMIAL_RING, xp, yp),
+        )
+
+
+class TestAlgorithmEquivalence:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_apsp_exact_with_routing_tables(self, sharded, seed):
+        graph = random_weighted_graph(
+            4 + seed % 9, 0.4, max_weight=20, seed=seed
+        )
+        serial_clique, shard_clique = _clique_pair(27, sharded)
+        serial = apsp_exact(graph, clique=serial_clique)
+        shard = apsp_exact(graph, clique=shard_clique)
+        assert_same_run(serial, shard)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_girth_directed(self, sharded, seed):
+        graph = gnp_random_graph(4 + seed % 9, 0.25, seed=seed, directed=True)
+        for method, size in (("semiring", 27), ("naive", graph.n)):
+            if size < 2:
+                continue
+            serial_clique, shard_clique = _clique_pair(size, sharded)
+            serial = girth_directed(graph, method=method, clique=serial_clique)
+            shard = girth_directed(graph, method=method, clique=shard_clique)
+            assert_same_run(serial, shard)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_boolean_closure_components(self, sharded, seed):
+        graph = gnp_random_graph(4 + seed % 9, 0.2, seed=seed)
+        for method, size in (("semiring", 27), ("bilinear", 16)):
+            if size < graph.n:
+                continue
+            serial_clique, shard_clique = _clique_pair(size, sharded)
+            serial = connected_components(
+                graph, method=method, clique=serial_clique
+            )
+            shard = connected_components(
+                graph, method=method, clique=shard_clique
+            )
+            assert_same_run(serial, shard)
+
+    def test_min_plus_witness_squaring(self, sharded, rng):
+        d = rng.integers(0, 100, (27, 27))
+        d[rng.random((27, 27)) < 0.2] = INF
+        np.fill_diagonal(d, 0)
+        serial_clique, shard_clique = _clique_pair(27, sharded)
+        s_sess = EngineSession(serial_clique, "semiring", MIN_PLUS)
+        p_sess = EngineSession(shard_clique, "semiring", MIN_PLUS)
+        sp, sw = s_sess.multiply(d, d, with_witnesses=True)
+        pp, pw = p_sess.multiply(d, d, with_witnesses=True)
+        assert np.array_equal(sp, pp)
+        assert np.array_equal(sw, pw)
+        assert serial_clique.meter.phases == shard_clique.meter.phases
+
+
+@pytest.mark.slow
+class TestShardSmoke:
+    """Bigger multiprocessing smoke (run in CI via `pytest -m slow -k shard`)."""
+
+    def test_large_apsp_and_bilinear_sharded(self):
+        with ShardedExecutor(3) as executor:
+            graph = random_weighted_graph(40, 0.15, max_weight=50, seed=7)
+            serial = apsp_exact(
+                graph, clique=CongestedClique(64, executor=SERIAL_EXECUTOR)
+            )
+            shard = apsp_exact(
+                graph, clique=CongestedClique(64, executor=executor)
+            )
+            assert_same_run(serial, shard)
+
+            rng = np.random.default_rng(11)
+            s = rng.integers(-9, 10, (64, 64))
+            serial_clique = CongestedClique(64, executor=SERIAL_EXECUTOR)
+            shard_clique = CongestedClique(64, executor=executor)
+            ref = EngineSession(serial_clique, "bilinear").multiply(s, s)
+            got = EngineSession(shard_clique, "bilinear").multiply(s, s)
+            assert np.array_equal(ref, got)
+            assert np.array_equal(ref, s @ s)
+            assert serial_clique.meter.phases == shard_clique.meter.phases
