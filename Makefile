@@ -2,7 +2,7 @@
 # from a clean checkout without an install.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-full bench perf-report bench-check shard-smoke table1
+.PHONY: test test-full bench perf-report bench-check bench-quick shard-smoke table1
 
 test:        ## fast lane (default pytest config: -m "not slow")
 	$(PY) -m pytest -q
@@ -21,6 +21,9 @@ perf-report: ## kernel + messaging perf report -> BENCH_matmul.json
 
 bench-check: ## fail if a quick perf run regresses >25% vs committed BENCH_matmul.json
 	$(PY) benchmarks/bench_check.py
+
+bench-quick: ## gate-sized rows only (kernel_gate/bilinear/boolean/kernel2) -- the CI fast lane
+	$(PY) benchmarks/bench_check.py --gate-only
 
 table1:      ## the consolidated measured Table 1
 	$(PY) benchmarks/table1_harness.py

@@ -12,7 +12,15 @@ baseline (the engine sections run at ``n = 256`` in every mode precisely so
 they are always comparable; the kernel rows only gate when the quick size
 matches).  Speedup ratios are compared rather than raw seconds so the gate is
 robust to absolute machine speed; a row fails when its current speedup drops
-below ``(1 - TOLERANCE)`` of the committed one.
+below ``(1 - TOLERANCE)`` of the committed one.  Reuse rows
+(``session_reuse_speedup``) are gated with the wider explicit
+:data:`REUSE_TOLERANCE` band -- near-1x ratios on 1-core containers would
+flap under the strict gate -- and noise-level committed ratios are
+*reported* as skipped instead of silently passing.
+
+``--gate-only`` gates just the fixed-size sections (``make bench-quick``,
+the CI fast lane); the full quick report is the default (``make
+bench-check``).
 
 Exit status 1 on any regression -- wire into CI or run before committing a
 refreshed ``BENCH_matmul.json``.
@@ -36,14 +44,81 @@ from perf_report import build_report  # noqa: E402
 #: Maximum tolerated speedup regression (25%).
 TOLERANCE = 0.25
 
+#: Explicit tolerance for *near-1x* rows: reuse ratios
+#: (``session_reuse_speedup`` fields) and small-but-real speedups below
+#: :data:`NARROW_BAND_MIN` sit close to 1x on the 1-core CI containers, so
+#: a hard 25% gate on them would flap (1.07x jittering to 0.79x is timer
+#: noise, not a regression).  They are still gated -- with a wider band --
+#: instead of silently skipped, and rows whose committed ratio is inside
+#: the noise band around 1x are *reported* as skipped.
+REUSE_TOLERANCE = 0.35
+
+#: Committed speedups at or above this use the strict :data:`TOLERANCE`;
+#: smaller ratios (whatever the field name) get :data:`REUSE_TOLERANCE`.
+NARROW_BAND_MIN = 1.5
+
+#: A committed reuse ratio below this is considered noise-level on a
+#: 1-core container (the row then documents overhead, not a win), and is
+#: explicitly skipped rather than gated.
+REUSE_NOISE_FLOOR = 1.05
+
 #: Sections whose rows carry comparable ``speedup`` fields.  The headline
 #: "kernel" section only matches when the quick size equals the committed
-#: one; "kernel_gate" runs at n=128 in every mode, so the blocked selection
-#: kernels are always gated alongside the n=256 engine sections.  In
-#: "sessions", only the fixed-size ``witness_kernel`` row carries a plain
-#: ``speedup`` field (shard speedups are machine/core-count dependent and
-#: deliberately not gated).
-SECTIONS = ("kernel", "kernel_gate", "bilinear", "boolean_product", "sessions")
+#: one; "kernel_gate" runs at n=128 in every mode and "kernel2" at fixed
+#: sizes in every mode, so those are always gated alongside the n=256
+#: engine sections.  In "sessions", the fixed-size ``witness_kernel`` row
+#: carries a plain ``speedup`` field (shard speedups are
+#: machine/core-count dependent and deliberately not gated) and the
+#: ``plan_cache`` reuse row is gated with :data:`REUSE_TOLERANCE`.
+SECTIONS = (
+    "kernel",
+    "kernel_gate",
+    "bilinear",
+    "boolean_product",
+    "kernel2",
+    "sessions",
+)
+
+
+def _compare_row(
+    section: str, key: str, base_row: dict, cur_row: dict
+) -> tuple[str | None, bool]:
+    """One (line, failed) verdict for a row pair, or ``(None, False)``."""
+    # Field detection first: rows without a gateable ratio (e.g. the
+    # shard-speedup session rows) stay silent, whatever their sizes.
+    if "speedup" in base_row and "speedup" in cur_row:
+        field = "speedup"
+    elif (
+        "session_reuse_speedup" in base_row
+        and "session_reuse_speedup" in cur_row
+    ):
+        field = "session_reuse_speedup"
+    else:
+        return None, False
+    if base_row.get("n") != cur_row.get("n"):
+        return (
+            f"  skip {section}/{key}: size mismatch "
+            f"(baseline n={base_row.get('n')}, quick n={cur_row.get('n')})",
+            False,
+        )
+    # Band selection keys off the committed ratio's magnitude, not the
+    # field name: any near-1x row flaps under the strict band.
+    tolerance = TOLERANCE if base_row[field] >= NARROW_BAND_MIN else REUSE_TOLERANCE
+    if field == "session_reuse_speedup" and base_row[field] < REUSE_NOISE_FLOOR:
+        return (
+            f"  skip {section}/{key}: committed reuse ratio "
+            f"{base_row[field]}x is noise-level on this container "
+            f"(< {REUSE_NOISE_FLOOR}x)",
+            False,
+        )
+    floor = (1.0 - tolerance) * base_row[field]
+    failed = cur_row[field] < floor
+    verdict = "REGRESSED" if failed else "ok"
+    return (
+        f"  {verdict:9s} {section}/{key}: {field} {cur_row[field]}x "
+        f"vs committed {base_row[field]}x (floor {floor:.2f}x)",
+        failed,
+    )
 
 
 def compare(committed: dict, current: dict) -> tuple[list[str], list[str]]:
@@ -54,26 +129,13 @@ def compare(committed: dict, current: dict) -> tuple[list[str], list[str]]:
         base_rows = committed.get(section, {})
         for key, cur_row in current.get(section, {}).items():
             base_row = base_rows.get(key)
-            if (
-                not isinstance(base_row, dict)
-                or "speedup" not in base_row
-                or "speedup" not in cur_row
-            ):
+            if not isinstance(base_row, dict):
                 continue
-            if base_row.get("n") != cur_row.get("n"):
-                lines.append(
-                    f"  skip {section}/{key}: size mismatch "
-                    f"(baseline n={base_row.get('n')}, quick n={cur_row.get('n')})"
-                )
+            line, failed = _compare_row(section, key, base_row, cur_row)
+            if line is None:
                 continue
-            floor = (1.0 - TOLERANCE) * base_row["speedup"]
-            verdict = "ok" if cur_row["speedup"] >= floor else "REGRESSED"
-            line = (
-                f"  {verdict:9s} {section}/{key}: speedup {cur_row['speedup']}x "
-                f"vs committed {base_row['speedup']}x (floor {floor:.2f}x)"
-            )
             lines.append(line)
-            if verdict != "ok":
+            if failed:
                 failures.append(line)
     return lines, failures
 
@@ -85,6 +147,13 @@ def main(argv: list[str] | None = None) -> int:
         default=str(_HERE.parent / "BENCH_matmul.json"),
         help="committed report to gate against (default: repo-root BENCH_matmul.json)",
     )
+    parser.add_argument(
+        "--gate-only",
+        action="store_true",
+        help="run only the fixed-size gateable sections (the bench-quick "
+        "lane: kernel_gate/bilinear/boolean_product/kernel2, no heavy "
+        "end-to-end rows)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = Path(args.baseline)
@@ -92,7 +161,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench-check: no baseline at {baseline_path}, nothing to gate")
         return 0
     committed = json.loads(baseline_path.read_text(encoding="utf-8"))
-    current = build_report(quick=True)
+    current = build_report(quick=True, gate_only=args.gate_only)
     lines, failures = compare(committed, current)
     print(f"bench-check vs {baseline_path}:")
     for line in lines:

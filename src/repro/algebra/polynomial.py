@@ -63,6 +63,34 @@ def poly_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
+def poly_matmul_batch(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Batched :func:`poly_matmul`: ``(B, r, k, Da) x (B, k, c, Db)``.
+
+    One *batched* integer GEMM per degree pair (the batch axis rides through
+    ``np.matmul``), instead of a Python loop of per-block products.  The
+    zero-coefficient skip tests the whole batch slice, so a skipped pair is
+    zero in every block -- values are identical to stacking
+    :func:`poly_matmul` per block.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    da = a.shape[3]
+    db = b.shape[3]
+    out = np.zeros(
+        (a.shape[0], a.shape[1], b.shape[2], da + db - 1), dtype=np.int64
+    )
+    for i in range(da):
+        ai = a[:, :, :, i]
+        if not ai.any():
+            continue
+        for j in range(db):
+            bj = b[:, :, :, j]
+            if not bj.any():
+                continue
+            out[:, :, :, i + j] += np.matmul(ai, bj)
+    return out
+
+
 def decode_minplus(poly: np.ndarray) -> np.ndarray:
     """Recover distances: the lowest degree with a non-zero coefficient.
 
@@ -83,6 +111,7 @@ def poly_entry_degree(poly: np.ndarray) -> int:
 __all__ = [
     "encode_minplus",
     "poly_matmul",
+    "poly_matmul_batch",
     "decode_minplus",
     "poly_entry_degree",
 ]

@@ -32,6 +32,13 @@ report measures against.
 Saturation is handled per tile by :func:`saturating_add`: any operand at or
 above ``INF`` yields exactly ``INF`` (never ``INF + INF``, which would
 overflow ``int64``), and finite sums are clipped at ``INF``.
+
+Kernel generation 2 (see DESIGN.md) adds, each with its oracle retained
+and a bit-identical equivalence suite: *packed* batched witness kernels
+for min-plus **and** max-min (``(value << kbits) | tag`` under one tiled
+min/max, shift and tag folded into the operands), and a ``uint64``
+bit-packed Boolean kernel (method of Four Russians) selected by a size
+heuristic over the retained ``float32`` GEMM tile.
 """
 
 from __future__ import annotations
@@ -221,11 +228,13 @@ def _check_batch(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 _BATCH_SLAB_ENTRIES = 1 << 17
 
 
-def _batch_chunk(batch: int, per_block_entries: int) -> int:
-    """Blocks per chunk so a slab holds ~:data:`_BATCH_SLAB_ENTRIES`."""
+def _batch_chunk(
+    batch: int, per_block_entries: int, slab_entries: int = _BATCH_SLAB_ENTRIES
+) -> int:
+    """Blocks per chunk so a slab holds ~``slab_entries`` entries."""
     if per_block_entries <= 0:
         return max(1, batch)
-    return max(1, min(batch, _BATCH_SLAB_ENTRIES // max(1, per_block_entries)))
+    return max(1, min(batch, slab_entries // max(1, per_block_entries)))
 
 
 class PlusTimesRing(Semiring):
@@ -275,9 +284,39 @@ class BooleanSemiring(Semiring):
     #: sizes the engines produce.
     BOOL_TILE = 1024
 
+    #: Size floor for the bit-packed kernel: below it the per-chunk 256-row
+    #: OR tables are not amortised over the gathered rows and the ``float32``
+    #: GEMM tile wins (it keeps winning for the small per-node blocks the
+    #: engines batch).  Both kernels cost the same at every density -- the
+    #: word-parallel ORs and the GEMM ignore the population count alike --
+    #: so the crossover is purely a size threshold (measured on this class
+    #: of hardware; the property tests sweep densities across the boundary).
+    PACKED_MIN_DIM = 256
+
+    def _use_packed(self, m: int, k: int, n: int) -> bool:
+        """The size heuristic selecting the bit-packed kernel."""
+        return min(m, k, n) >= self.PACKED_MIN_DIM
+
     def matmul(
         self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
     ) -> np.ndarray:
+        """Boolean block product; dispatches packed vs GEMM by size.
+
+        An explicit ``tile`` pins the ``float32`` GEMM kernel (the only one
+        with a tile); otherwise :meth:`_use_packed` picks the ``uint64``
+        bit-packed kernel for large blocks.  All kernels are exact, so the
+        dispatch can never change values.
+        """
+        x, y = self._check(x, y)
+        if tile is None and self._use_packed(x.shape[0], x.shape[1], y.shape[1]):
+            # Batch of one, skipping packed_matmul's re-validation.
+            return self.packed_matmul_batch(x[None], y[None])[0]
+        return self.gemm_matmul(x, y, tile=tile)
+
+    def gemm_matmul(
+        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+    ) -> np.ndarray:
+        """The blocked ``float32`` GEMM kernel (PR 2): one BLAS call per tile."""
         x, y = self._check(x, y)
         if tile is None:
             tile = self.BOOL_TILE
@@ -291,6 +330,67 @@ class BooleanSemiring(Semiring):
             counts = xb[:, k0 : k0 + tile] @ yb[k0 : k0 + tile, :]
             acc |= counts > 0.5
         return acc.astype(np.int64)
+
+    def packed_matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Bit-packed Boolean product (method of Four Russians, word-parallel).
+
+        Both operands are packed once per product -- 64x memory compression
+        against the ``float32`` GEMM path's working set.  The inner
+        dimension is processed in 8-bit chunks: chunk ``c`` packs ``y`` rows
+        ``8c .. 8c+7`` (columns bit-packed, little-endian, padded to whole
+        ``uint64`` words) and materialises the 256 possible OR combinations
+        with 8 doubling passes; output row ``i`` then ORs, over chunks, the
+        table row selected by byte ``c`` of ``x[i]``'s packed row.  The
+        tables are viewed as ``uint64`` words, so the gather/reduce sweep
+        ORs 64 output columns per word op, chunk-major and contiguous.
+        Exact at every density (no arithmetic, only AND/OR logic),
+        property-tested against :meth:`cube_matmul` and :meth:`gemm_matmul`.
+        """
+        # One block is a batch of one (same pattern as the packed witness
+        # kernels), so the endianness-sensitive pack/table/gather logic
+        # lives in exactly one place.
+        x, y = self._check(x, y)
+        return self.packed_matmul_batch(x[None], y[None])[0]
+
+    def packed_matmul_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Batched :meth:`packed_matmul`: the chunk tables gain a batch axis."""
+        x, y = _check_batch(x, y)
+        batch, m, k = x.shape
+        n = y.shape[2]
+        if 0 in (batch, m, k, n):
+            return np.zeros((batch, m, n), dtype=np.int64)
+        xb = np.packbits(x > 0, axis=2, bitorder="little")  # (B, m, chunks)
+        yb = np.packbits(y > 0, axis=2, bitorder="little")  # (B, k, nb)
+        chunks = xb.shape[2]
+        nb = yb.shape[2]
+        nw = -(-nb // 8)
+        ypad = np.zeros((batch, chunks * 8, nw * 8), dtype=np.uint8)
+        ypad[:, :k, :nb] = yb
+        # The uint8 <-> uint64 views assume a little-endian host (byte j of
+        # word w is packed byte 8w+j); the property tests against the cube
+        # oracle would fail loudly on a big-endian platform.
+        ywords = ypad.view(np.uint64).reshape(batch, chunks, 8, nw)
+        tables = np.zeros((batch, chunks, 256, nw), dtype=np.uint64)
+        half = 1
+        for t in range(8):
+            np.bitwise_or(
+                tables[:, :, :half],
+                ywords[:, :, t, None, :],
+                out=tables[:, :, half : 2 * half],
+            )
+            half *= 2
+        flat = tables.reshape(batch * chunks * 256, nw)
+        idx = (
+            np.ascontiguousarray(np.moveaxis(xb, 2, 0)).astype(np.intp)
+            + (np.arange(chunks, dtype=np.intp) * 256)[:, None, None]
+            + (np.arange(batch, dtype=np.intp) * chunks * 256)[None, :, None]
+        )
+        rows = np.take(flat, idx, axis=0)  # (chunks, B, m, nw)
+        packed = np.bitwise_or.reduce(rows, axis=0)  # (B, m, nw) uint64
+        packed8 = np.ascontiguousarray(packed).view(np.uint8)[:, :, :nb]
+        return np.unpackbits(packed8, axis=2, count=n, bitorder="little").astype(
+            np.int64
+        )
 
     def cube_matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """The cube-materialising Boolean product (oracle + perf baseline).
@@ -312,9 +412,15 @@ class BooleanSemiring(Semiring):
 
         The exactness argument of :meth:`matmul` is per output entry, so it
         holds unchanged with a leading batch axis; values are identical to
-        the per-block kernel.
+        the per-block kernel.  The same size heuristic as :meth:`matmul`
+        applies per block: large blocks take the bit-packed kernel, the
+        small per-node blocks the engines batch stay on the GEMM tile
+        (measured faster there -- BLAS amortises while the 256-row chunk
+        tables do not).
         """
         x, y = _check_batch(x, y)
+        if tile is None and self._use_packed(x.shape[1], x.shape[2], y.shape[2]):
+            return self.packed_matmul_batch(x, y)
         if tile is None:
             tile = self.BOOL_TILE
         elif tile < 1:
@@ -359,9 +465,64 @@ class _SelectionSemiring(Semiring):
     ascending order, which reproduces NumPy's global ``argmin``/``argmax``
     tie-breaking (lowest attaining index wins), so results and witnesses are
     bit-identical to :meth:`cube_matmul_with_witness`.
+
+    The concrete semirings override the batched witness entry point with
+    *packed* kernels (``(value << kbits) | tag`` under one tiled min/max,
+    see :class:`MinPlusSemiring` / :class:`MaxMinSemiring`); the generic
+    batched column walk is retained as
+    :meth:`_generic_walk_batch_with_witness` -- their range-gated fallback
+    and the independent baseline the equivalence tests pin them against.
     """
 
     has_witnesses = True
+
+    #: Inner-dimension tile and slab budget for the *packed* witness
+    #: kernels.  Wider than the plain-kernel tile (a packed tile is a single
+    #: broadcast add/min pass, so Python-loop overhead dominates sooner) and
+    #: a smaller slab budget (the preallocated slab plus the running best
+    #: must stay cache-resident together); measured fastest at the
+    #: ``(512, 64, 64)`` batches an n=512 engine squaring produces.
+    _PACKED_TILE = 16
+    _PACKED_SLAB_ENTRIES = 1 << 16
+
+    def _packed_fold(
+        self, xs, ys, fill, reduce_fn, merge_fn, *, tile: int | None = None
+    ) -> np.ndarray:
+        """The shared tiled fold of the packed witness kernels.
+
+        Per inner tile, ``fill`` (a broadcasting binary ufunc: ``np.add``
+        for min-plus, ``np.minimum`` for max-min) writes the packed
+        candidates into a preallocated slab; ``reduce_fn`` collapses the
+        tile axis and ``merge_fn`` merges into the running best.  The batch
+        axis is chunked so slab + best stay cache-resident
+        (:data:`_PACKED_SLAB_ENTRIES`).  Returns the ``(B, m, n)`` packed
+        best, still carrying the witness tag bits.
+        """
+        batch, m, k = xs.shape
+        n = ys.shape[2]
+        tile = self._PACKED_TILE if tile is None else _resolve_tile(tile)
+        out = np.empty((batch, m, n), dtype=np.int64)
+        chunk = _batch_chunk(batch, m * tile * n, self._PACKED_SLAB_ENTRIES)
+        slab = np.empty((chunk, m, min(tile, k), n), dtype=np.int64)
+        for b0 in range(0, batch, chunk):
+            bc = min(chunk, batch - b0)
+            xc = xs[b0 : b0 + bc]
+            yc = ys[b0 : b0 + bc]
+            best: np.ndarray | None = None
+            for k0 in range(0, k, tile):
+                kt = min(tile, k - k0)
+                sl = slab[:bc, :, :kt]
+                fill(
+                    xc[:, :, k0 : k0 + kt, None],
+                    yc[:, None, k0 : k0 + kt, :],
+                    out=sl,
+                )
+                if best is None:
+                    best = reduce_fn(sl, axis=2)
+                else:
+                    merge_fn(best, reduce_fn(sl, axis=2), out=best)
+            out[b0 : b0 + bc] = best
+        return out
 
     # -- subclass hooks -------------------------------------------------- #
 
@@ -465,12 +626,20 @@ class _SelectionSemiring(Semiring):
     def matmul_batch_with_witness(
         self, x: np.ndarray, y: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched witness product; subclasses dispatch to packed kernels."""
+        return self._generic_walk_batch_with_witness(x, y)
+
+    def _generic_walk_batch_with_witness(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Batched column-walk witness kernel; bit-identical to per-block.
 
         Walks the inner dimension once for the whole batch (``k`` Python
         iterations instead of ``B * k``), with the same strict-improvement
         merge -- values *and* witnesses match :meth:`matmul_with_witness`
-        exactly, including tie-breaking.
+        exactly, including tie-breaking.  Retained as the fallback for
+        operands outside the packed kernels' head-room range and as their
+        equivalence baseline.
         """
         x, y = _check_batch(x, y)
         batch, m, k = x.shape
@@ -654,8 +823,12 @@ class MinPlusSemiring(_SelectionSemiring):
         for mat in (x, y):
             if mat.size == 0:
                 continue
-            finite = np.where(mat >= INF, 0, mat)
-            finite_bound = max(finite_bound, int(np.max(np.abs(finite))))
+            # max |finite entry| without materialising a masked copy: the
+            # global min is never INF-contaminated (INF is the largest
+            # value), and the masked max caps negatives at the 0 initial.
+            lo = int(mat.min())
+            hi = int(np.max(mat, initial=0, where=mat < INF))
+            finite_bound = max(finite_bound, -lo if lo < 0 else 0, hi)
         penalty = 1 << max(3, (4 * finite_bound).bit_length())
         if 2 * penalty >= 1 << (62 - kbits):
             return None
@@ -667,7 +840,8 @@ class MinPlusSemiring(_SelectionSemiring):
         self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         x, y = _check_batch(x, y)
-        tile = _resolve_tile(tile)
+        if tile is not None:
+            _resolve_tile(tile)  # validate up front, even on fallback paths
         batch, m, k = x.shape
         n = y.shape[2]
         if k == 0:
@@ -677,26 +851,16 @@ class MinPlusSemiring(_SelectionSemiring):
         if packed is None:  # huge entries: exact column walk
             return self._walk_batch_with_witness(x, y)
         xs, ys, kbits, penalty, offset = packed
-        j_tags = np.arange(k, dtype=np.int64)
-        out = np.empty((batch, m, n), dtype=np.int64)
-        chunk = _batch_chunk(batch, m * tile * n)
-        for b0 in range(0, batch, chunk):
-            xc = xs[b0 : b0 + chunk]
-            yc = ys[b0 : b0 + chunk]
-            best: np.ndarray | None = None
-            for k0 in range(0, k, tile):
-                slab = (
-                    xc[:, :, k0 : k0 + tile, None]
-                    + yc[:, None, k0 : k0 + tile, :]
-                )
-                slab <<= kbits
-                slab += j_tags[k0 : k0 + tile, None]
-                tile_best = slab.min(axis=2)
-                if best is None:
-                    best = tile_best
-                else:
-                    np.minimum(best, tile_best, out=best)
-            out[b0 : b0 + chunk] = best
+        # Fold the shift and the index tag into the operands once:
+        # ``((a + b) << kbits) | j  ==  (a << kbits) + ((b << kbits) + j)``
+        # exactly (``j < 2^kbits`` and the shifted sum has ``kbits`` low
+        # zero bits), so each tile is a single broadcast add plus a min --
+        # no per-slab shift/or passes.  ``xs``/``ys`` are fresh encodes, so
+        # the in-place folds are safe.
+        xs <<= kbits
+        ys <<= kbits
+        ys += np.arange(k, dtype=np.int64)[None, :, None]
+        out = self._packed_fold(xs, ys, np.add, np.min, np.minimum, tile=tile)
         witness = out & ((1 << kbits) - 1)
         out >>= kbits
         # Encoded sums carry a 2*offset shift; restore it, then restore INF
@@ -767,6 +931,98 @@ class MaxMinSemiring(_SelectionSemiring):
     name = "max-min"
     zero_value = -INF
     one_value = INF
+
+    def _pack_parameters(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int, int, int] | None:
+        """Monotone encoding for the packed max-min witness kernel, or ``None``.
+
+        The min-plus packing trick carries over with two twists.  First, the
+        elementwise product is a *min*, so instead of adding encoded
+        operands we encode with any strictly monotone map ``e`` over the
+        extended order ``-INF < finite < +INF`` -- then
+        ``min(e(a), e(b)) = e(min(a, b))`` exactly.  We use ``e(-INF) = 0``,
+        ``e(v) = v + F + 1`` for ``|v| <= F`` finite, ``e(+INF) = P = 2F+2``.
+        Second, the outer reduction is a *max*, so on value ties the
+        **largest** tag wins; tagging column ``j`` with ``k - 1 - j`` makes
+        the smallest inner index win ties -- NumPy's argmax convention,
+        bit-identical to the column walk.  Exactness needs
+        ``P << kbits < 2^62``; ``None`` falls back to the generic walk.
+        """
+        k = x.shape[-1]
+        kbits = max(0, (k - 1).bit_length())
+        finite_bound = 0
+        for mat in (x, y):
+            if mat.size == 0:
+                continue
+            hi = int(np.max(mat, initial=0, where=mat < INF))
+            lo = int(np.min(mat, initial=0, where=mat > -INF))
+            finite_bound = max(finite_bound, hi, -lo)
+        penalty = 2 * finite_bound + 2
+        if penalty >= 1 << (62 - kbits):
+            return None
+        xs = np.where(x >= INF, penalty, np.where(x <= -INF, 0, x + finite_bound + 1))
+        ys = np.where(y >= INF, penalty, np.where(y <= -INF, 0, y + finite_bound + 1))
+        return xs, ys, kbits, penalty, finite_bound
+
+    def matmul_with_witness(
+        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x, y = self._check_operands(x, y)
+        _resolve_tile(tile)
+        if x.shape[1] == 0:
+            shape = (x.shape[0], y.shape[1])
+            return self.zeros(shape), np.zeros(shape, dtype=np.int64)
+        # One block is a batch of one; the batched kernel holds the packed
+        # fast path and the exact walk fallback (bit-identical values and
+        # witnesses across all of them).
+        product, witness = self.matmul_batch_with_witness(
+            x[None], y[None], tile=tile
+        )
+        return product[0], witness[0]
+
+    def matmul_batch_with_witness(
+        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Packed max-min witness kernel: one tiled max over tagged encodes.
+
+        Packs ``(e(min) << kbits) + (k - 1 - j)`` and takes a single tiled
+        max; because both operands of a lane carry the *same* tag,
+        ``min(a + t, b + t) = min(a, b) + t`` keeps the fold exact.  Values
+        and witnesses are bit-identical to the retained column walk
+        (:meth:`_generic_walk_batch_with_witness`), including tie-breaks.
+        """
+        x, y = _check_batch(x, y)
+        if tile is not None:
+            _resolve_tile(tile)  # validate up front, even on fallback paths
+        batch, m, k = x.shape
+        n = y.shape[2]
+        if k == 0:
+            shape = (batch, m, n)
+            return self.zeros(shape), np.zeros(shape, dtype=np.int64)
+        packed = self._pack_parameters(x, y)
+        if packed is None:  # huge entries: exact column walk
+            return self._generic_walk_batch_with_witness(x, y)
+        xs, ys, kbits, penalty, offset = packed
+        # Fold shift and reversed tag into *both* operands (same tag per
+        # inner index, so the elementwise min preserves it exactly).
+        tags = (k - 1) - np.arange(k, dtype=np.int64)
+        xs <<= kbits
+        xs += tags[None, None, :]
+        ys <<= kbits
+        ys += tags[None, :, None]
+        out = self._packed_fold(xs, ys, np.minimum, np.max, np.maximum, tile=tile)
+        witness = (k - 1) - (out & ((1 << kbits) - 1))
+        out >>= kbits
+        # Decode the monotone encoding: 0 is -INF, penalty is +INF,
+        # everything else shifts back by offset + 1.
+        neg = out == 0
+        pos = out >= penalty
+        out -= offset + 1
+        np.copyto(out, -INF, where=neg)
+        np.copyto(out, INF, where=pos)
+        np.copyto(witness, 0, where=neg)
+        return out, witness
 
     def _combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.minimum(a, b)

@@ -8,6 +8,7 @@ Koenig edge colouring) that every algorithm in the reproduction runs on.
 """
 
 from repro.clique.accounting import CostMeter, PhaseCost
+from repro.clique.arena import ExchangeArena
 from repro.clique.executor import (
     SERIAL_EXECUTOR,
     LocalExecutor,
@@ -28,6 +29,7 @@ __all__ = [
     "ScheduleMode",
     "CostMeter",
     "PhaseCost",
+    "ExchangeArena",
     "LocalExecutor",
     "SerialExecutor",
     "ShardedExecutor",

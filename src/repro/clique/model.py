@@ -20,7 +20,10 @@ bit word per ordered node pair per round):
   nodes in ``O(R / n)`` rounds.
 
 Each exchange primitive also has an **array-native fast path** --
-:meth:`CongestedClique.broadcast_rows`, :meth:`CongestedClique.route_array`,
+:meth:`CongestedClique.broadcast_rows`, :meth:`CongestedClique.route_array`
+(and its planned-delivery variant :meth:`CongestedClique.route_array_take`,
+which gathers inboxes by a precomputed index vector into a caller-owned
+buffer -- what the arena-backed engine sessions use),
 :meth:`CongestedClique.send_array`, :meth:`CongestedClique.transpose_array`,
 the block all-to-alls :meth:`CongestedClique.scatter_blocks` /
 :meth:`CongestedClique.gather_blocks` and the record replication
@@ -346,15 +349,84 @@ class CongestedClique:
             sender id then emission order -- or the equivalent
             :class:`~repro.clique.routing.FlatInboxes` when ``flat`` is set.
         """
+        batch = self._flatten_checked(dests, blocks, widths, tags)
+        self._charge_routed_batch(batch, phase, expect_max_load)
+        return deliver_array_flat(batch) if flat else deliver_array(batch)
+
+    def route_array_take(
+        self,
+        dests: Sequence[np.ndarray],
+        blocks: Sequence[np.ndarray],
+        *,
+        take: np.ndarray,
+        widths: Sequence[np.ndarray] | None = None,
+        out: np.ndarray | None = None,
+        owners: np.ndarray | None = None,
+        phase: str = "route",
+        expect_max_load: int | None = None,
+    ) -> np.ndarray:
+        """:meth:`route_array` with a *planned* delivery gather.
+
+        Identical batch layout and **bit-identical round/load charges** to
+        :meth:`route_array` (the two share the accounting path); only the
+        delivery differs: instead of sorting the batch by destination, the
+        received pieces are gathered by the precomputed flat index vector
+        ``take`` -- one fused ``np.take`` into ``out`` (typically an
+        :class:`~repro.clique.arena.ExchangeArena` buffer), no per-exchange
+        ``argsort`` and no fresh concatenated inbox array.
+
+        ``take`` must compose the exchange's delivery permutation with a
+        receiver-*local* reordering only: entry ``g`` of the result is piece
+        ``take[g]`` of the flattened batch, and every gathered piece must be
+        addressed to the node that consumes that output slot (receivers can
+        only read their own inboxes).  The engine plans satisfy this by
+        construction -- their ``take`` vectors are pure functions of the
+        static destination arrays -- and the equivalence tests pin the
+        gathered contents against :meth:`route_array`'s inboxes.  Pass
+        ``owners`` (the node id consuming each output slot) to have the
+        model *enforce* receiver locality: a gather whose piece is
+        addressed elsewhere raises ``CliqueModelError`` instead of leaking
+        another node's traffic -- the engine plans ship their static owner
+        vectors, so every hot-path exchange is checked on every call.
+        """
+        batch = self._flatten_checked(dests, blocks, widths, None)
+        # Validate the gather *before* charging: a rejected delivery must
+        # not leave phantom rounds on the meter (route_array's only failure
+        # path, flattening, raises before charging too).
+        take = np.asarray(take, dtype=np.intp)
+        if take.size and (
+            int(take.min()) < 0 or int(take.max()) >= batch.blocks.shape[0]
+        ):
+            raise CliqueModelError("route_array_take: take index out of range")
+        if owners is not None and not np.array_equal(batch.dst[take], owners):
+            raise CliqueModelError(
+                "route_array_take: gather reads pieces addressed to another "
+                "node (take/owners disagree with the batch destinations)"
+            )
+        self._charge_routed_batch(batch, phase, expect_max_load)
+        return np.take(batch.blocks, take, axis=0, out=out)
+
+    def _flatten_checked(
+        self,
+        dests: Sequence[np.ndarray],
+        blocks: Sequence[np.ndarray],
+        widths: Sequence[np.ndarray] | None,
+        tags: Sequence[np.ndarray] | None,
+    ):
         try:
             if widths is None:
                 widths = [
                     block_widths(np.asarray(b, dtype=np.int64), self.word_bits)
                     for b in blocks
                 ]
-            batch = flatten_array_batch(dests, blocks, widths, tags, self.n)
+            return flatten_array_batch(dests, blocks, widths, tags, self.n)
         except ValueError as exc:
             raise CliqueModelError(str(exc)) from exc
+
+    def _charge_routed_batch(
+        self, batch, phase: str, expect_max_load: int | None
+    ) -> None:
+        """Meter one routed array batch (shared by both delivery styles)."""
         exact = self.mode is ScheduleMode.EXACT
         profile = analyze_array(batch, with_demand=exact)
         enforce_load_bound(profile, expect_max_load)
@@ -373,7 +445,6 @@ class CongestedClique:
                 max_recv_words=profile.max_recv,
             )
         )
-        return deliver_array_flat(batch) if flat else deliver_array(batch)
 
     def send_array(
         self,

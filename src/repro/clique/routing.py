@@ -95,6 +95,13 @@ def enforce_load_bound(profile: LoadProfile, expect_max_load: int | None) -> Non
 # ids plus a stacked block of equally-shaped int64 pieces; load accounting
 # and delivery are then single vectorised passes (``np.bincount`` /
 # stable argsort) over the concatenated batch.
+#
+# Exchanges whose destination pattern is *static* can go one step further
+# and skip the per-exchange argsort and the fresh delivery arrays entirely:
+# :meth:`repro.clique.model.CongestedClique.route_array_take` charges
+# through the same accounting below but delivers by a precomputed gather
+# into a caller-owned (arena) buffer -- what the engine plans
+# (``CubePlan.take_st``/``take3``) use on every squaring.
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ import numpy as np
 from repro.algebra.bilinear import BilinearAlgorithm
 from repro.algebra.semirings import BOOLEAN, PLUS_TIMES, Semiring
 from repro.clique.accounting import CostMeter
+from repro.clique.arena import ExchangeArena
 from repro.clique.executor import LocalExecutor, make_executor
 from repro.clique.model import CongestedClique, ScheduleMode
 from repro.matmul.bilinear_clique import (
@@ -128,6 +129,13 @@ class EngineSession:
         self.algorithm: BilinearAlgorithm | None = None
         self._boolean_via_ring = False
         self._ring: RingOps | None = None
+        #: Per-session exchange arena: the engines' send/recv buffers are
+        #: preallocated once (sized by the CubePlan/GridPlan exchange
+        #: shapes) and reused by every product the session runs, so the
+        #: ceil(log n) squarings of a closure stop re-allocating them.
+        #: Results returned by products are always freshly allocated; see
+        #: repro.clique.arena for the aliasing rules.
+        self.arena = ExchangeArena()
 
         if isinstance(algebra, RingOps):
             if method != "bilinear":
@@ -211,7 +219,8 @@ class EngineSession:
                     "witness machinery in repro.matmul.witnesses)"
                 )
             return bilinear_matmul(
-                self.clique, x, y, self.algorithm, ring=self._ring, phase=phase
+                self.clique, x, y, self.algorithm, ring=self._ring, phase=phase,
+                arena=self.arena,
             )
         semiring: Semiring = self.algebra  # type: ignore[assignment]
         if self._boolean_via_ring:
@@ -224,7 +233,8 @@ class EngineSession:
             xb = (np.asarray(x) > 0).astype(np.int64)
             yb = (np.asarray(y) > 0).astype(np.int64)
             product = bilinear_matmul(
-                self.clique, xb, yb, self.algorithm, phase=phase
+                self.clique, xb, yb, self.algorithm, phase=phase,
+                arena=self.arena,
             )
             return (product > 0).astype(np.int64)
         if semiring is BOOLEAN:
@@ -235,11 +245,13 @@ class EngineSession:
                 f"semiring {semiring.name!r} does not support witnesses"
             )
         if self.method == "bilinear":
-            return bilinear_matmul(self.clique, x, y, self.algorithm, phase=phase)
+            return bilinear_matmul(
+                self.clique, x, y, self.algorithm, phase=phase, arena=self.arena
+            )
         if self.method == "semiring":
             return semiring_matmul(
                 self.clique, x, y, semiring,
-                with_witnesses=with_witnesses, phase=phase,
+                with_witnesses=with_witnesses, phase=phase, arena=self.arena,
             )
         return broadcast_matmul(
             self.clique, x, y, semiring,

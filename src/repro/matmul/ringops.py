@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algebra.polynomial import poly_matmul
+from repro.algebra.polynomial import poly_matmul, poly_matmul_batch
 from repro.clique.messages import words_for_value
 
 
@@ -38,8 +38,10 @@ class RingOps:
         """Batched block product over a leading batch axis.
 
         Semantically ``stack([matmul(x[b], y[b]) for b])`` with identical
-        values; this generic fallback loops, scalar rings override with one
-        vectorised call.
+        values.  Every concrete ring overrides this with a vectorised
+        batch-axis kernel (one fused call per executor step); this generic
+        loop remains only as the reference fallback for third-party rings
+        and as the baseline the equivalence tests pin the kernels against.
         """
         return np.stack(
             [self.matmul(x[b], y[b]) for b in range(np.asarray(x).shape[0])]
@@ -100,6 +102,9 @@ class PolynomialRingOps(RingOps):
 
     def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return poly_matmul(x, y)
+
+    def matmul_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return poly_matmul_batch(x, y)
 
     def out_trailing(self, x: np.ndarray, y: np.ndarray) -> tuple[int, ...]:
         # Convolution of degree-(Da-1) and degree-(Db-1) polynomials.

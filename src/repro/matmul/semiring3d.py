@@ -24,14 +24,20 @@ exactly because the semiring engine takes arg-min locally.
 
 Implementation notes:
 
-* Both exchanges run on the simulator's **array-native fast path**
-  (:meth:`~repro.clique.model.CongestedClique.route_array`); the charged
-  round counts are bit-identical to the tuple formulation (see the
-  equivalence tests).
+* Both exchanges run on the simulator's **array-native fast path** with
+  *planned delivery*
+  (:meth:`~repro.clique.model.CongestedClique.route_array_take`): the
+  charged round counts are bit-identical to the tuple formulation and to
+  sort-based :meth:`~repro.clique.model.CongestedClique.route_array`
+  delivery (see the equivalence tests), but inboxes are gathered by the
+  plan's precomputed index vectors into per-session
+  :class:`~repro.clique.arena.ExchangeArena` buffers -- no per-exchange
+  argsort, no concatenated temporaries.
 * The exchange pattern is input-independent, so every static index array
-  (destinations, tags, per-node block bases, inbox composition) is computed
-  once per clique size and memoised in a :class:`CubePlan` -- repeated
-  squarings (APSP, girth, closure) replan nothing.
+  (destinations, tags, per-node block bases, inbox composition, delivery
+  gathers) is computed once per clique size and memoised in a
+  :class:`CubePlan` -- repeated squarings (APSP, girth, closure) replan
+  nothing.
 * The ``n`` local block products of step 2 run as **one batched call** on
   the clique's :class:`~repro.clique.executor.LocalExecutor`, which the
   sharded backend partitions over node ranges; values (hence widths and
@@ -46,6 +52,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.algebra.semirings import PLUS_TIMES, Semiring
+from repro.clique.arena import ExchangeArena
 from repro.clique.messages import block_widths, words_for_value
 from repro.clique.model import CongestedClique
 from repro.matmul.layout import CubeLayout
@@ -82,6 +89,21 @@ class CubePlan:
     dests3: np.ndarray
     #: global inner-index base of each node's block product, ``(n,)``.
     k_base: np.ndarray
+    #: step-1 planned delivery gather, ``(2 n q^2,)``: flat sent-piece
+    #: indices whose gather yields all S operand blocks (first half) then
+    #: all T operand blocks (second half), each in ``(node, block-row)``
+    #: order -- the delivery sort *composed with* the ``from_s`` decode, so
+    #: arena delivery skips both the per-exchange argsort and the masked
+    #: restack.  Delivery order is node-local, hence free in the model.
+    take_st: np.ndarray
+    #: step-3 planned delivery gather, ``(n q^2,)``: the stable
+    #: by-destination order of the recombination exchange.
+    take3: np.ndarray
+    #: owner node of each ``take_st`` output slot, ``(2 n q^2,)`` -- shipped
+    #: with the gather so the model can enforce receiver locality.
+    owners_st: np.ndarray
+    #: owner node of each ``take3`` output slot, ``(n q^2,)``.
+    owners3: np.ndarray
 
     @property
     def q(self) -> int:
@@ -115,16 +137,29 @@ def cube_plan(n: int) -> CubePlan:
     from_s[v1_of < v2_of, :q2] = True
     from_s[v1_of > v2_of, q2:] = True
     from_s[v1_of == v2_of, 0::2] = True
+    dests1 = np.concatenate([s_dests, t_dests], axis=1)
+    # Planned delivery gathers: the stable by-destination sort is a pure
+    # function of the static destination arrays, so it is computed once
+    # here instead of per exchange; composing it with the from_s decode
+    # lets step 2 gather its S/T operand blocks straight out of the sent
+    # batch (one np.take into an arena buffer).
+    order1 = np.argsort(dests1.reshape(-1), kind="stable").reshape(n, 2 * q2)
+    take_st = np.concatenate([order1[from_s], order1[~from_s]])
+    inbox_owner = np.repeat(ids, q2)
     return CubePlan(
         layout=layout,
         v1_of=v1_of,
-        dests1=np.concatenate([s_dests, t_dests], axis=1),
+        dests1=dests1,
         from_s=from_s,
         # Step 3: node v holds P^{(v2)}[v1**, v3**] and returns row u's
         # slice to node u for each u in v1** -- the same id range as the
         # S-piece destinations.
         dests3=s_dests,
         k_base=v2_of * q2,
+        take_st=take_st,
+        take3=np.argsort(s_dests.reshape(-1), kind="stable"),
+        owners_st=np.tile(inbox_owner, 2),
+        owners3=inbox_owner,
     )
 
 
@@ -136,6 +171,7 @@ def semiring_matmul(
     *,
     with_witnesses: bool = False,
     phase: str = "semiring3d",
+    arena: ExchangeArena | None = None,
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Multiply ``n x n`` matrices over a semiring in ``O(n^{1/3})`` rounds.
 
@@ -149,6 +185,11 @@ def semiring_matmul(
         with_witnesses: if set (selection semirings only), also return the
             witness matrix ``W`` with ``P[u,v] = S[u, W[u,v]] (x) T[W[u,v], v]``.
         phase: cost-meter label prefix.
+        arena: the :class:`~repro.clique.arena.ExchangeArena` holding this
+            pipeline's send/recv buffers; engine sessions pass their
+            per-session arena so repeated squarings reuse every buffer.
+            ``None`` uses a fresh throwaway arena (identical results and
+            charges, just per-call allocations).
 
     Returns:
         ``P``, or ``(P, W)`` when ``with_witnesses`` is set.
@@ -162,6 +203,8 @@ def semiring_matmul(
         raise ValueError(f"operands must be {n} x {n} matrices")
     if with_witnesses and not semiring.has_witnesses:
         raise ValueError(f"semiring {semiring.name} does not support witnesses")
+    if arena is None:
+        arena = ExchangeArena()
     word_bits = clique.word_bits
     q2 = q * q
 
@@ -169,51 +212,61 @@ def semiring_matmul(
     # Each node ships 2 q^2 submatrices of q^2 entries: 2 n^{4/3} words at
     # unit width.  All pieces are q^2-entry row slices, so the whole step is
     # one array-native routed exchange on the plan's static destinations.
+    # The send batch is assembled by broadcast-assignment into one arena
+    # buffer (no repeat/tile/concatenate temporaries).
     s3 = s.reshape(n, q, q2)  # s3[v, u2] = S[v, u2**]
     t3 = t.reshape(n, q, q2)  # t3[v, w3] = T[v, w3**]
-    s_pieces = np.repeat(s3, q, axis=1)  # (n, q^2, q^2), row (u2 q + u3)
-    t_pieces = np.tile(t3, (1, q, 1))  # (n, q^2, q^2), row (w1 q + w3)
-    pieces = np.concatenate([s_pieces, t_pieces], axis=1)
+    pieces = arena.buffer("cube/pieces", (n, 2 * q2, q2))
+    # S pieces at row (u2 q + u3) = s3[v, u2]; T pieces at (w1 q + w3) =
+    # t3[v, w3] -- the tuple path's emission order.
+    pieces[:, :q2].reshape(n, q, q, q2)[:] = s3[:, :, None, :]
+    pieces[:, q2:].reshape(n, q, q, q2)[:] = t3[:, None, :, :]
 
     # Honest per-piece widths: size * words-for-max-abs, per q^2-slice.
-    s_widths = np.repeat(
-        block_widths(s3.reshape(n * q, q2), word_bits).reshape(n, q), q, axis=1
-    )
-    t_widths = np.tile(
-        block_widths(t3.reshape(n * q, q2), word_bits).reshape(n, q), (1, q)
-    )
-    widths = np.concatenate([s_widths, t_widths], axis=1)
+    widths = arena.buffer("cube/widths1", (n, 2 * q2))
+    widths[:, :q2].reshape(n, q, q)[:] = block_widths(
+        s3.reshape(n * q, q2), word_bits
+    ).reshape(n, q)[:, :, None]
+    widths[:, q2:].reshape(n, q, q)[:] = block_widths(
+        t3.reshape(n * q, q2), word_bits
+    ).reshape(n, q)[:, None, :]
 
     max_abs = max(
         int(np.max(np.abs(s))) if s.size else 0,
         int(np.max(np.abs(t))) if t.size else 0,
     )
     max_entry_words = words_for_value(max_abs, word_bits)
-    received = clique.route_array(
+    # Planned delivery: one fused gather lands the operand blocks of step 2
+    # directly (delivery sort composed with the from_s decode -- no inbox
+    # restacking), charged exactly as route_array would charge.
+    st_blocks = clique.route_array_take(
         plan.dests1,
         pieces,
         widths=widths,
+        take=plan.take_st,
+        out=arena.buffer("cube/st_blocks", (2 * n * q2, q2)),
+        owners=plan.owners_st,
         phase=f"{phase}/step1-distribute",
         expect_max_load=_LOAD_SLACK * 2 * q2 * q2 * max_entry_words,
-        flat=True,
     )
 
     # ---------------- Step 2: local block products. --------------------- #
     # Node u = (u1, u2, u3) assembles S[u1**, u2**] and T[u2**, u3**].  The
     # inbox composition is the plan's static decode (exactly one S piece
     # from each of the q^2 senders in u1**, ascending -- i.e. already in
-    # block-row order -- and one T piece from each sender in u2**).  The n
-    # block products then run as one batched executor call -- the unit of
-    # work the sharded backend partitions over node ranges.
-    inbox_blocks = received.uniform_blocks(2 * q2)
-    s_blocks = inbox_blocks[plan.from_s].reshape(n, q2, q2)
-    t_blocks = inbox_blocks[~plan.from_s].reshape(n, q2, q2)
+    # block-row order -- and one T piece from each sender in u2**), baked
+    # into ``take_st`` above.  The n block products then run as one batched
+    # executor call -- the unit of work the sharded backend partitions over
+    # node ranges.
+    s_blocks = st_blocks[: n * q2].reshape(n, q2, q2)
+    t_blocks = st_blocks[n * q2 :].reshape(n, q2, q2)
     if with_witnesses:
         products, wit_blocks = clique.executor.semiring_products(
             semiring, s_blocks, t_blocks, with_witnesses=True
         )
-        # Local inner index -> global node id, per block product.
-        wit_blocks = wit_blocks + plan.k_base[:, None, None]
+        # Local inner index -> global node id, per block product (executor
+        # results are freshly allocated, so in-place is safe).
+        wit_blocks += plan.k_base[:, None, None]
     else:
         products = clique.executor.semiring_products(semiring, s_blocks, t_blocks)
 
@@ -227,21 +280,27 @@ def semiring_matmul(
     if with_witnesses:
         # Ship each product row with its witness row as one (2, q^2) piece;
         # the witness half is charged at witness_words/entry.
-        blocks3 = np.stack([products, wit_blocks], axis=2)
+        blocks3 = arena.buffer("cube/blocks3w", (n, q2, 2, q2))
+        blocks3[:, :, 0] = products
+        blocks3[:, :, 1] = wit_blocks
         widths3 = row_widths + q2 * witness_words
+        recomb_key, recomb_shape = "cube/recombw", (n * q2, 2, q2)
     else:
         blocks3 = products
         widths3 = row_widths
-    received = clique.route_array(
+        recomb_key, recomb_shape = "cube/recomb", (n * q2, q2)
+    flat_recombined = clique.route_array_take(
         plan.dests3,
         blocks3,
         widths=widths3,
+        take=plan.take3,
+        out=arena.buffer(recomb_key, recomb_shape),
+        owners=plan.owners3,
         phase=f"{phase}/step3-recombine",
         expect_max_load=_LOAD_SLACK
         * q2
         * q2
         * (max_entry_words + (witness_words if with_witnesses else 0)),
-        flat=True,
     )
 
     # ---------------- Step 4: assemble the result rows. ----------------- #
@@ -251,7 +310,7 @@ def semiring_matmul(
     # scatter.  The q-way semiring reduction runs batched over all nodes,
     # in the same w2 order as the per-node loop (bit-identical values and
     # witness tie-breaks).
-    recombined = received.uniform_blocks(q2)
+    recombined = flat_recombined.reshape((n, q2) + flat_recombined.shape[1:])
     if with_witnesses:
         rows = recombined[:, :, 0].reshape(n, q, n)
         row_wits = recombined[:, :, 1].reshape(n, q, n)

@@ -16,9 +16,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algebra.semirings import ALL_SEMIRINGS, BOOLEAN, MIN_PLUS, PLUS_TIMES
+from repro.algebra.semirings import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    MAX_MIN,
+    MIN_PLUS,
+    PLUS_TIMES,
+    Semiring,
+    _SelectionSemiring,
+)
 from repro.clique.executor import (
     SERIAL_EXECUTOR,
+    LocalExecutor,
     ShardedExecutor,
     make_executor,
     shard_ranges,
@@ -118,6 +127,133 @@ class TestBatchProducts:
             sharded.ring_products(POLYNOMIAL_RING, xp, yp),
             SERIAL_EXECUTOR.ring_products(POLYNOMIAL_RING, xp, yp),
         )
+
+
+class _PerBlockOracleExecutor(LocalExecutor):
+    """Reference executor: a Python loop of *seed oracle* kernels per block.
+
+    Independent of every batch-axis kernel (cube kernels for the selection
+    semirings, the cube AND-reduce for Boolean, plain ``@`` for the rings),
+    so driving a whole engine product through it pins the batched kernels'
+    values, witness tie-breaks, shipped widths and meter entries at once.
+    """
+
+    name = "per-block-oracle"
+    shards = 1
+
+    def semiring_products(
+        self, semiring, lefts, rights, *, with_witnesses=False
+    ):
+        lefts = np.asarray(lefts, dtype=np.int64)
+        rights = np.asarray(rights, dtype=np.int64)
+        if with_witnesses:
+            pairs = [
+                semiring.cube_matmul_with_witness(lefts[b], rights[b])
+                for b in range(lefts.shape[0])
+            ]
+            return (
+                np.stack([p for p, _ in pairs]),
+                np.stack([w for _, w in pairs]),
+            )
+        blocks = []
+        for b in range(lefts.shape[0]):
+            if isinstance(semiring, _SelectionSemiring):
+                blocks.append(semiring.cube_matmul_with_witness(lefts[b], rights[b])[0])
+            elif semiring is BOOLEAN:
+                blocks.append(semiring.cube_matmul(lefts[b], rights[b]))
+            else:
+                blocks.append(lefts[b] @ rights[b])
+        return np.stack(blocks)
+
+    def ring_products(self, ring, lefts, rights):
+        return np.stack(
+            [
+                ring.matmul(np.asarray(lefts)[b], np.asarray(rights)[b])
+                for b in range(np.asarray(lefts).shape[0])
+            ]
+        )
+
+
+def _batch_operands(rng, semiring: Semiring, batch: int, m: int, k: int, n: int):
+    hi = int(rng.choice([4, 50, 1 << 40]))
+    x = rng.integers(-hi, hi + 1, (batch, m, k), dtype=np.int64)
+    y = rng.integers(-hi, hi + 1, (batch, k, n), dtype=np.int64)
+    if semiring is MIN_PLUS:
+        x[rng.random(x.shape) < 0.3] = INF
+        y[rng.random(y.shape) < 0.3] = INF
+    elif semiring is MAX_MIN:
+        for mat in (x, y):
+            mat[rng.random(mat.shape) < 0.2] = INF
+            mat[rng.random(mat.shape) < 0.2] = -INF
+    elif semiring is BOOLEAN:
+        x = (x > 0).astype(np.int64)
+        y = (y > 0).astype(np.int64)
+    return x, y
+
+
+class TestBatchAxisKernels:
+    """The gen-2 batch-axis kernels vs the retained per-block loop."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_values_match_per_block_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(1, 8))
+        m, k, n = (int(rng.integers(0, 9)) for _ in range(3))
+        for semiring in ALL_SEMIRINGS:
+            x, y = _batch_operands(rng, semiring, batch, max(1, m), k, max(1, n))
+            got = semiring.matmul_batch(x, y)
+            want = np.stack(
+                [semiring.matmul(x[b], y[b]) for b in range(batch)]
+            )
+            assert np.array_equal(got, want), semiring.name
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_witnesses_match_per_block_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(1, 8))
+        m, k, n = (int(rng.integers(0, 9)) for _ in range(3))
+        for semiring in (MIN_PLUS, MAX_MIN):
+            x, y = _batch_operands(rng, semiring, batch, max(1, m), k, max(1, n))
+            got_p, got_w = semiring.matmul_batch_with_witness(x, y)
+            pairs = [
+                semiring.matmul_with_witness(x[b], y[b]) for b in range(batch)
+            ]
+            assert np.array_equal(got_p, np.stack([p for p, _ in pairs]))
+            assert np.array_equal(got_w, np.stack([w for _, w in pairs]))
+            # ... and against the fully independent generic walk.
+            walk_p, walk_w = semiring._generic_walk_batch_with_witness(x, y)
+            assert np.array_equal(got_p, walk_p), semiring.name
+            assert np.array_equal(got_w, walk_w), semiring.name
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_engine_products_pin_widths_and_meters(self, seed):
+        """A whole engine product on the per-block-oracle executor charges
+        bit-identical meters (values -> widths -> rounds) to the batched
+        kernels, for every semiring."""
+        rng = np.random.default_rng(seed)
+        for semiring in ALL_SEMIRINGS:
+            x, y = _batch_operands(rng, semiring, 1, 27, 27, 27)
+            x, y = x[0], y[0]
+            fast_clique, oracle_clique = (
+                CongestedClique(27, executor=SERIAL_EXECUTOR),
+                CongestedClique(27, executor=_PerBlockOracleExecutor()),
+            )
+            fast = EngineSession(fast_clique, "semiring", semiring)
+            oracle = EngineSession(oracle_clique, "semiring", semiring)
+            with_wit = semiring.has_witnesses
+            if with_wit:
+                fp, fw = fast.multiply(x, y, with_witnesses=True)
+                op, ow = oracle.multiply(x, y, with_witnesses=True)
+                assert np.array_equal(fw, ow), semiring.name
+            else:
+                fp = fast.multiply(x, y)
+                op = oracle.multiply(x, y)
+            assert np.array_equal(fp, op), semiring.name
+            assert fast_clique.rounds == oracle_clique.rounds
+            assert fast_clique.meter.phases == oracle_clique.meter.phases
 
 
 class TestAlgorithmEquivalence:

@@ -1,0 +1,356 @@
+"""Kernel generation 2: packed Boolean blocks, packed max-min witnesses,
+and arena-backed exchanges.
+
+Every fast path introduced by the second kernel wave keeps an oracle
+counterpart, and these tests pin them bit-identical:
+
+* the ``uint64`` bit-packed Boolean kernel against :meth:`cube_matmul` and
+  the ``float32`` GEMM path, across densities and across the size-heuristic
+  crossover boundary;
+* the packed max-min witness kernel against the generic column walk and the
+  cube kernel (values *and* tie-breaks), plus an end-to-end bottleneck
+  routing-table regression;
+* the planned-delivery exchange (``route_array_take``) and the per-session
+  :class:`~repro.clique.arena.ExchangeArena` against the sort-based
+  delivery: same contents, same rounds, same meter entries, with buffer
+  reuse across repeated squarings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.semirings import BOOLEAN, MAX_MIN, MIN_PLUS
+from repro.clique.arena import ExchangeArena
+from repro.clique.model import CongestedClique
+from repro.constants import INF
+from repro.distances import (
+    apsp_bottleneck,
+    bottleneck_reference,
+    validate_bottleneck_routing,
+)
+from repro.errors import CliqueModelError
+from repro.graphs import random_weighted_digraph, random_weighted_graph
+from repro.matmul.semiring3d import cube_plan, semiring_matmul
+
+
+# --------------------------------------------------------------------- #
+# Bit-packed Boolean kernel
+# --------------------------------------------------------------------- #
+
+
+class TestPackedBoolean:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_matches_cube_and_gemm_across_densities(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k, n = (int(rng.integers(1, 40)) for _ in range(3))
+        density = float(rng.choice([0.0, 0.01, 0.1, 0.5, 0.9, 1.0]))
+        x = (rng.random((m, k)) < density).astype(np.int64)
+        y = (rng.random((k, n)) < density).astype(np.int64)
+        packed = BOOLEAN.packed_matmul(x, y)
+        assert np.array_equal(packed, BOOLEAN.cube_matmul(x, y))
+        assert np.array_equal(packed, BOOLEAN.gemm_matmul(x, y))
+        assert np.array_equal(packed, BOOLEAN.matmul(x, y))
+
+    @pytest.mark.parametrize("dim", [255, 256, 257])
+    @pytest.mark.parametrize("density", [0.0, 0.02, 0.5])
+    def test_heuristic_crossover_boundary(self, dim, density):
+        """Sizes straddling PACKED_MIN_DIM agree on both sides of the
+        dispatch (the heuristic may change the kernel, never the values)."""
+        rng = np.random.default_rng(dim * 1000 + int(density * 100))
+        x = (rng.random((dim, dim)) < density).astype(np.int64)
+        y = (rng.random((dim, dim)) < density).astype(np.int64)
+        assert BOOLEAN._use_packed(dim, dim, dim) == (
+            dim >= BOOLEAN.PACKED_MIN_DIM
+        )
+        dispatched = BOOLEAN.matmul(x, y)
+        assert np.array_equal(dispatched, BOOLEAN.gemm_matmul(x, y))
+        assert np.array_equal(dispatched, BOOLEAN.packed_matmul(x, y))
+
+    def test_nonsquare_and_word_boundaries(self):
+        """Shapes around the 8-bit chunk and byte-packing boundaries."""
+        rng = np.random.default_rng(7)
+        for m, k, n in [(1, 1, 1), (3, 8, 9), (5, 9, 8), (64, 65, 63),
+                        (17, 128, 2), (2, 7, 300)]:
+            x = (rng.random((m, k)) < 0.3).astype(np.int64)
+            y = (rng.random((k, n)) < 0.3).astype(np.int64)
+            assert np.array_equal(
+                BOOLEAN.packed_matmul(x, y), BOOLEAN.cube_matmul(x, y)
+            ), (m, k, n)
+
+    def test_empty_dimensions(self):
+        zero = np.zeros((3, 0), dtype=np.int64)
+        out = BOOLEAN.packed_matmul(zero, np.zeros((0, 4), dtype=np.int64))
+        assert out.shape == (3, 4) and not out.any()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_batch_matches_per_block(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(1, 6))
+        m, k, n = (int(rng.integers(1, 30)) for _ in range(3))
+        x = (rng.random((batch, m, k)) < 0.2).astype(np.int64)
+        y = (rng.random((batch, k, n)) < 0.2).astype(np.int64)
+        got = BOOLEAN.packed_matmul_batch(x, y)
+        want = np.stack(
+            [BOOLEAN.cube_matmul(x[b], y[b]) for b in range(batch)]
+        )
+        assert np.array_equal(got, want)
+        assert np.array_equal(BOOLEAN.matmul_batch(x, y), want)
+
+    def test_nonbinary_inputs_thresholded(self):
+        """Like the other kernels, any positive entry counts as 1."""
+        x = np.array([[5, 0, -2], [0, 3, 0]], dtype=np.int64)
+        y = np.array([[1, 0], [0, 7], [2, 0]], dtype=np.int64)
+        assert np.array_equal(
+            BOOLEAN.packed_matmul(x, y), BOOLEAN.cube_matmul(x, y)
+        )
+
+
+# --------------------------------------------------------------------- #
+# Packed max-min witness kernel
+# --------------------------------------------------------------------- #
+
+
+class TestPackedMaxMinWitness:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_matches_walk_and_cube(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(1, 6))
+        m, k, n = (int(rng.integers(1, 9)) for _ in range(3))
+        hi = int(rng.choice([2, 50, 1 << 40]))
+        x = rng.integers(-hi, hi + 1, (batch, m, k), dtype=np.int64)
+        y = rng.integers(-hi, hi + 1, (batch, k, n), dtype=np.int64)
+        for mat in (x, y):
+            mat[rng.random(mat.shape) < 0.2] = INF
+            mat[rng.random(mat.shape) < 0.2] = -INF
+        p, w = MAX_MIN.matmul_batch_with_witness(x, y)
+        wp, ww = MAX_MIN._generic_walk_batch_with_witness(x, y)
+        assert np.array_equal(p, wp)
+        assert np.array_equal(w, ww)
+        for b in range(batch):
+            cp, cw = MAX_MIN.cube_matmul_with_witness(x[b], y[b])
+            assert np.array_equal(p[b], cp)
+            assert np.array_equal(w[b], cw)
+
+    def test_tie_break_lowest_index_under_max(self):
+        """Equal bottlenecks must pick the smallest inner index (argmax
+        convention) -- the reversed-tag encoding under the max."""
+        x = np.array([[5, 5, 5]], dtype=np.int64)
+        y = np.array([[7], [5], [9]], dtype=np.int64)
+        p, w = MAX_MIN.matmul_with_witness(x, y)
+        assert p[0, 0] == 5 and w[0, 0] == 0
+
+    def test_all_neg_inf_and_all_pos_inf_conventions(self):
+        neg = np.full((2, 3), -INF, dtype=np.int64)
+        p, w = MAX_MIN.matmul_with_witness(neg, np.full((3, 2), -INF, np.int64))
+        assert np.all(p == -INF) and np.all(w == 0)
+        pos = np.full((2, 3), INF, dtype=np.int64)
+        p, w = MAX_MIN.matmul_with_witness(pos, np.full((3, 2), INF, np.int64))
+        assert np.all(p == INF) and np.all(w == 0)
+
+    def test_huge_entries_take_walk_fallback(self):
+        big = 1 << 61
+        x = np.array([[[big, -big]]], dtype=np.int64)
+        y = np.array([[[big], [-big]]], dtype=np.int64)
+        assert MAX_MIN._pack_parameters(x, y) is None
+        p, w = MAX_MIN.matmul_batch_with_witness(x, y)
+        wp, ww = MAX_MIN._generic_walk_batch_with_witness(x, y)
+        assert np.array_equal(p, wp) and np.array_equal(w, ww)
+
+    def test_empty_inner_dimension(self):
+        x = np.zeros((1, 2, 0), dtype=np.int64)
+        y = np.zeros((1, 0, 3), dtype=np.int64)
+        p, w = MAX_MIN.matmul_batch_with_witness(x, y)
+        assert np.all(p == -INF) and np.all(w == 0)
+
+
+class TestBottleneckRoutingRegression:
+    """End-to-end: the packed max-min kernel drives Corollary-6-style
+    bottleneck routing tables through the engine session."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_routing_tables_realise_widest_paths(self, seed):
+        g = random_weighted_digraph(14, 0.3, 25, seed=seed)
+        result = apsp_bottleneck(g, with_routing_tables=True)
+        assert np.array_equal(result.value, bottleneck_reference(g))
+        assert validate_bottleneck_routing(
+            g, result.value, result.extras["next_hop"]
+        )
+
+    def test_undirected_routing_on_cube_clique(self):
+        g = random_weighted_graph(27, 0.25, 40, seed=3)
+        result = apsp_bottleneck(g, with_routing_tables=True)
+        assert np.array_equal(result.value, bottleneck_reference(g))
+        assert validate_bottleneck_routing(
+            g, result.value, result.extras["next_hop"]
+        )
+
+
+# --------------------------------------------------------------------- #
+# Arena-backed exchanges
+# --------------------------------------------------------------------- #
+
+
+class TestExchangeArena:
+    def test_buffer_identity_and_reallocation(self):
+        arena = ExchangeArena()
+        a = arena.buffer("x", (3, 4))
+        assert not a.any()  # born zeroed
+        a[:] = 7
+        assert arena.buffer("x", (3, 4)) is a  # same key+shape: same buffer
+        b = arena.buffer("x", (2, 2))  # shape change: fresh zeroed buffer
+        assert b.shape == (2, 2) and not b.any()
+        assert arena.buffer("y", (3, 4)) is not a
+        assert len(arena) == 2 and arena.nbytes() > 0
+
+
+class TestRouteArrayTake:
+    def test_matches_route_array_contents_and_charges(self, rng):
+        n = 8
+        p = 3
+        dests = rng.integers(0, n, (n, p), dtype=np.int64)
+        blocks = rng.integers(-9, 10, (n, p, 4), dtype=np.int64)
+        widths = np.full((n, p), 4, dtype=np.int64)
+        ref_clique = CongestedClique(n)
+        flat = ref_clique.route_array(
+            dests, blocks, widths=widths, phase="ref", flat=True
+        )
+        # The planned gather reproducing the sorted delivery order.
+        order = np.argsort(dests.reshape(-1), kind="stable")
+        take_clique = CongestedClique(n)
+        got = take_clique.route_array_take(
+            dests, blocks, widths=widths, take=order, phase="ref"
+        )
+        assert np.array_equal(got, flat.blocks)
+        assert ref_clique.rounds == take_clique.rounds
+        ref_phase = ref_clique.meter.phases[0]
+        take_phase = take_clique.meter.phases[0]
+        assert ref_phase == take_phase
+
+    def test_out_buffer_is_filled_and_returned(self, rng):
+        n = 4
+        dests = np.tile(np.arange(n, dtype=np.int64), (n, 1))
+        blocks = rng.integers(0, 5, (n, n, 2), dtype=np.int64)
+        out = np.empty((n * n, 2), dtype=np.int64)
+        clique = CongestedClique(n)
+        got = clique.route_array_take(
+            dests,
+            blocks,
+            take=np.argsort(dests.reshape(-1), kind="stable"),
+            out=out,
+        )
+        assert got is out
+
+    def test_take_out_of_range_rejected(self, rng):
+        n = 4
+        dests = np.tile(np.arange(n, dtype=np.int64), (n, 1))
+        blocks = rng.integers(0, 5, (n, n, 2), dtype=np.int64)
+        clique = CongestedClique(n)
+        with pytest.raises(CliqueModelError):
+            clique.route_array_take(
+                dests, blocks, take=np.array([0, n * n], dtype=np.int64)
+            )
+
+    def test_owners_enforce_receiver_locality(self, rng):
+        """An in-range gather that reads another node's traffic is rejected
+        when the caller ships the slot-owner vector."""
+        n = 4
+        dests = np.tile(np.arange(n, dtype=np.int64), (n, 1))
+        blocks = rng.integers(0, 5, (n, n, 2), dtype=np.int64)
+        order = np.argsort(dests.reshape(-1), kind="stable")
+        owners = np.repeat(np.arange(n, dtype=np.int64), n)
+        good = CongestedClique(n).route_array_take(
+            dests, blocks, take=order, owners=owners
+        )
+        ref = CongestedClique(n).route_array(dests, blocks, flat=True)
+        assert np.array_equal(good, ref.blocks)
+        bad_take = order.copy()
+        # Swap one piece across an inbox boundary: still in range, but the
+        # slot owned by node 0 now reads a piece addressed to node 1.
+        bad_take[0], bad_take[-1] = bad_take[-1], bad_take[0]
+        with pytest.raises(CliqueModelError):
+            CongestedClique(n).route_array_take(
+                dests, blocks, take=bad_take, owners=owners
+            )
+
+
+class TestArenaBackedEngine:
+    def test_cube_plan_takes_are_permutations(self):
+        plan = cube_plan(27)
+        q2 = plan.q * plan.q
+        assert sorted(plan.take_st.tolist()) == list(range(27 * 2 * q2))
+        assert sorted(plan.take3.tolist()) == list(range(27 * q2))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_arena_reuse_is_invisible(self, seed):
+        """Repeated squarings through one arena == fresh arenas == PR 3
+        behaviour: same values, witnesses, rounds and meter entries."""
+        rng = np.random.default_rng(seed)
+        n = 27
+        d = rng.integers(0, 100, (n, n), dtype=np.int64)
+        d[rng.random((n, n)) < 0.3] = INF
+        np.fill_diagonal(d, 0)
+        shared = ExchangeArena()
+        shared_clique = CongestedClique(n)
+        fresh_clique = CongestedClique(n)
+        cur_shared, cur_fresh = d, d
+        for step in range(3):
+            ps, ws = semiring_matmul(
+                shared_clique, cur_shared, cur_shared, MIN_PLUS,
+                with_witnesses=True, phase=f"sq{step}", arena=shared,
+            )
+            pf, wf = semiring_matmul(
+                fresh_clique, cur_fresh, cur_fresh, MIN_PLUS,
+                with_witnesses=True, phase=f"sq{step}", arena=None,
+            )
+            assert np.array_equal(ps, pf), step
+            assert np.array_equal(ws, wf), step
+            cur_shared, cur_fresh = ps, pf
+        assert shared_clique.rounds == fresh_clique.rounds
+        assert shared_clique.meter.phases == fresh_clique.meter.phases
+
+    def test_results_do_not_alias_arena_buffers(self):
+        """Products must return fresh arrays: a later product through the
+        same arena may not mutate an earlier result."""
+        rng = np.random.default_rng(11)
+        n = 27
+        a = rng.integers(0, 50, (n, n), dtype=np.int64)
+        b = rng.integers(0, 50, (n, n), dtype=np.int64)
+        arena = ExchangeArena()
+        clique = CongestedClique(n)
+        first = semiring_matmul(clique, a, a, MIN_PLUS, arena=arena)
+        snapshot = first.copy()
+        semiring_matmul(clique, b, b, MIN_PLUS, arena=arena)
+        assert np.array_equal(first, snapshot)
+
+    def test_bilinear_arena_reuse_is_invisible(self):
+        rng = np.random.default_rng(5)
+        n = 16
+        from repro.engine import EngineSession
+
+        x = rng.integers(-9, 10, (n, n), dtype=np.int64)
+        session_clique = CongestedClique(n)
+        fresh_clique = CongestedClique(n)
+        session = EngineSession(session_clique, "bilinear")
+        cur = x
+        for step in range(3):
+            from repro.matmul.bilinear_clique import bilinear_matmul
+
+            want = bilinear_matmul(
+                fresh_clique, cur, cur, session.algorithm,
+                phase=f"session/sq{step}",
+            )
+            got = session.square(cur, phase=f"session/sq{step}")
+            assert np.array_equal(got, want), step
+            assert np.array_equal(got, cur @ cur), step
+            cur = got
+        assert session_clique.rounds == fresh_clique.rounds
+        assert session_clique.meter.phases == fresh_clique.meter.phases
