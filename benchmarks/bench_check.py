@@ -76,6 +76,7 @@ SECTIONS = (
     "bilinear",
     "boolean_product",
     "kernel2",
+    "spanning",
     "sessions",
 )
 
@@ -85,7 +86,10 @@ def _compare_row(
 ) -> tuple[str | None, bool]:
     """One (line, failed) verdict for a row pair, or ``(None, False)``."""
     # Field detection first: rows without a gateable ratio (e.g. the
-    # shard-speedup session rows) stay silent, whatever their sizes.
+    # shard-speedup session rows) stay silent, whatever their sizes --
+    # unless they carry a deterministic ``rounds`` bill, which is gated for
+    # *exact equality* (the spanning workload rows: simulated rounds are
+    # seeded and noise-free, so any drift is a behaviour change).
     if "speedup" in base_row and "speedup" in cur_row:
         field = "speedup"
     elif (
@@ -93,6 +97,20 @@ def _compare_row(
         and "session_reuse_speedup" in cur_row
     ):
         field = "session_reuse_speedup"
+    elif "rounds" in base_row and "rounds" in cur_row:
+        if base_row.get("n") != cur_row.get("n"):
+            return (
+                f"  skip {section}/{key}: size mismatch "
+                f"(baseline n={base_row.get('n')}, quick n={cur_row.get('n')})",
+                False,
+            )
+        failed = base_row["rounds"] != cur_row["rounds"]
+        verdict = "REGRESSED" if failed else "ok"
+        return (
+            f"  {verdict:9s} {section}/{key}: rounds {cur_row['rounds']} "
+            f"vs committed {base_row['rounds']} (exact-equality gate)",
+            failed,
+        )
     else:
         return None, False
     if base_row.get("n") != cur_row.get("n"):
@@ -151,8 +169,8 @@ def main(argv: list[str] | None = None) -> int:
         "--gate-only",
         action="store_true",
         help="run only the fixed-size gateable sections (the bench-quick "
-        "lane: kernel_gate/bilinear/boolean_product/kernel2, no heavy "
-        "end-to-end rows)",
+        "lane: kernel_gate/bilinear/boolean_product/kernel2/spanning, no "
+        "heavy end-to-end rows)",
     )
     args = parser.parse_args(argv)
 

@@ -27,6 +27,9 @@ Times four layers and writes ``BENCH_matmul.json``:
   the ``uint64`` bit-packed Boolean kernel vs the ``float32`` GEMM path,
   the packed max-min witness kernel vs the generic column walk, and the
   arena-backed exchange pipeline vs per-call allocation.
+* **Spanning** -- the PR 5 spanner/MST workloads through engine sessions,
+  at one fixed size in every mode; their deterministic round bills are
+  gated for exact equality by ``bench_check``.
 * **Sessions** -- the end-to-end engine-session pipeline: exact APSP and
   directed girth through one bound session on the serial vs the sharded
   executor (identical rounds asserted), the packed min-plus witness kernel
@@ -243,6 +246,32 @@ def kernel2_section(reps: int) -> dict:
         "speedup": round(gemm_s / packed_s, 2),
     }
 
+    # ---- work-based dispatch: a skinny-but-huge block. ----------------- #
+    # The PR 5 heuristic switch: dispatch keys on m*k*n work (plus pack-
+    # width floors), not min(m, k, n), so shapes like this one reach the
+    # Four Russians kernel.  The row pins the crossover's payoff.
+    ms, ks, ns = 128, 2048, 2048
+    xs = (rng.random((ms, ks)) < 0.05).astype(np.int64)
+    ys = (rng.random((ks, ns)) < 0.05).astype(np.int64)
+    assert BOOLEAN._use_packed(ms, ks, ns)
+    assert np.array_equal(
+        BOOLEAN.packed_matmul(xs, ys), BOOLEAN.gemm_matmul(xs, ys)
+    )
+    gemm_s = packed_s = float("inf")
+    for _ in range(max(reps, 10)):
+        gemm_s = min(gemm_s, _best_of(lambda: BOOLEAN.gemm_matmul(xs, ys), 1))
+        packed_s = min(
+            packed_s, _best_of(lambda: BOOLEAN.packed_matmul(xs, ys), 1)
+        )
+    section["packed_boolean_skinny"] = {
+        "n": ns,
+        "m": ms,
+        "k": ks,
+        "gemm_seconds": round(gemm_s, 4),
+        "packed_seconds": round(packed_s, 4),
+        "speedup": round(gemm_s / packed_s, 2),
+    }
+
     # ---- packed max-min witness kernel vs the generic column walk. ----- #
     mx = rng.integers(-1000, 1000, (batch, block, block), dtype=np.int64)
     my = rng.integers(-1000, 1000, (batch, block, block), dtype=np.int64)
@@ -296,6 +325,63 @@ def kernel2_section(reps: int) -> dict:
         "fresh_seconds": round(fresh_s, 4),
         "arena_seconds": round(arena_s, 4),
         "session_reuse_speedup": round(fresh_s / arena_s, 2),
+    }
+    return section
+
+
+def spanning_section(reps: int) -> dict:
+    """Spanner + MST workloads through engine sessions (fixed size, gated).
+
+    Both rows run at one fixed size in every mode so ``make bench-quick``
+    can gate them.  Their simulated **round counts are deterministic** for
+    the fixed seeds, and ``bench_check`` gates them for *exact equality* --
+    a changed round bill is a behaviour change, not timer noise -- while
+    the wall-clock seconds are informational.  Answers are verified against
+    the centralised oracles before anything is timed.
+    """
+    from repro.spanning import (
+        build_spanner,
+        minimum_spanning_forest,
+        mst_reference,
+        spanner_stretch,
+    )
+
+    section: dict[str, dict] = {}
+    n, k = 48, 3
+    graph = random_weighted_graph(n, 0.25, max_weight=40, seed=5)
+
+    def run_spanner():
+        return build_spanner(graph, k, seed=5)
+
+    result = run_spanner()
+    assert spanner_stretch(graph, result.value) <= 2 * k - 1 + 1e-9
+    section["spanner_session"] = {
+        "n": n,
+        "k": k,
+        "rounds": result.rounds,
+        "edges": result.extras["spanner_edges"],
+        "graph_edges": graph.edge_count,
+        "seconds": round(_best_of(run_spanner, reps), 4),
+    }
+
+    def run_mst():
+        return minimum_spanning_forest(graph, seed=5)
+
+    mst_result = run_mst()
+    ref_edges, ref_weight = mst_reference(graph)
+    assert mst_result.extras["edges"] == ref_edges
+    assert mst_result.extras["weight"] == ref_weight
+    section["mst_session"] = {
+        "n": n,
+        "rounds": mst_result.rounds,
+        "weight": mst_result.extras["weight"],
+        "phases": mst_result.extras["phases"],
+        "flight_survivors": mst_result.extras["flight_survivors"],
+        "constant_round_phases": {
+            key: mst_result.extras["phase_rounds"][key]
+            for key in ("labels_announce", "boruvka_candidates", "flight_gather")
+        },
+        "seconds": round(_best_of(run_mst, reps), 4),
     }
     return section
 
@@ -526,6 +612,8 @@ def build_report(quick: bool, gate_only: bool = False) -> dict:
     report["boolean_product"] = boolean_section(512, reps)
     # Kernel generation 2: every row at a fixed size, gateable in all modes.
     report["kernel2"] = kernel2_section(reps)
+    # Spanning workloads (PR 5): fixed size, rounds gated for equality.
+    report["spanning"] = spanning_section(reps)
     if gate_only:
         return report
     report["sessions"] = session_section(

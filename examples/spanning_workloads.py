@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Graph sparsification on the session API: spanners + MST.
+
+The PR 5 workload demo: the same engine sessions that power the distance
+algorithms run two classic sparsification routines -- a Baswana-Sen
+``(2k-1)``-spanner (cluster growing as min-plus witness products) and the
+Jurdzinski-Nowicki O(1)-round MST skeleton (Boruvka contraction products +
+KKT sampling + F-light gather).  Both are verified in-process against
+their centralised oracles.
+
+Run: ``python examples/spanning_workloads.py [n]`` (default 30).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import (
+    baswana_sen_reference,
+    build_spanner,
+    minimum_spanning_forest,
+    mst_reference,
+    spanner_stretch,
+)
+from repro.graphs import random_weighted_graph
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    graph = random_weighted_graph(n, 0.3, max_weight=50, seed=17)
+    print(f"Weighted network: {graph}\n")
+
+    k = 3
+    spanner = build_spanner(graph, k, seed=17)
+    reference = baswana_sen_reference(graph, k, seed=17)
+    assert np.array_equal(spanner.value, reference)
+    stretch = spanner_stretch(graph, spanner.value)
+    bound = spanner.extras["stretch_bound"]
+    assert stretch <= bound + 1e-9
+    print(
+        f"({bound})-spanner                  : {spanner.rounds:6d} rounds   "
+        f"[{spanner.extras['spanner_edges']}/{graph.edge_count} edges, "
+        f"measured stretch {stretch:.2f}, oracle check: edge-for-edge]"
+    )
+
+    mst = minimum_spanning_forest(graph, seed=17)
+    edges, weight = mst_reference(graph)
+    assert mst.extras["edges"] == edges
+    print(
+        f"MST (KKT skeleton)            : {mst.rounds:6d} rounds   "
+        f"[weight {mst.extras['weight']} == Kruskal {weight}, "
+        f"{mst.extras['flight_survivors']} F-light survivors]"
+    )
+
+    constant = {
+        key: mst.extras["phase_rounds"].get(key, 0)
+        for key in ("labels_announce", "boruvka_candidates", "flight_gather")
+    }
+    print(f"\nO(1)-round collectives of the skeleton: {constant}")
+    print("(label closures and contraction products scale with n; the "
+          "constant-round pieces above are the Jurdzinski-Nowicki claim.)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ The package layers:
 * :mod:`repro.subgraphs` / :mod:`repro.distances` -- every application in
   the paper: cycle counting/detection, constant-round 4-cycle detection,
   girth, the APSP family.
+* :mod:`repro.spanning` -- spanner and O(1)-round MST workloads riding the
+  engine-session API (Parter--Yogev, Jurdzinski--Nowicki).
 * :mod:`repro.baselines` -- prior work (Dolev et al.) for the Table 1
   comparisons; :mod:`repro.analysis` -- the Table 1 harness and the §4
   lower-bound checks.
@@ -81,6 +83,13 @@ from repro.distances import (
     girth_directed,
     girth_undirected,
 )
+from repro.spanning import (
+    baswana_sen_reference,
+    build_spanner,
+    minimum_spanning_forest,
+    mst_reference,
+    spanner_stretch,
+)
 from repro.baselines import dolev_four_cycle_detect, dolev_triangle_count
 from repro.analysis import format_table1, run_table1
 
@@ -137,6 +146,12 @@ __all__ = [
     "diameter_unweighted",
     "girth_undirected",
     "girth_directed",
+    # spanning workloads
+    "build_spanner",
+    "baswana_sen_reference",
+    "spanner_stretch",
+    "minimum_spanning_forest",
+    "mst_reference",
     # model variants
     "BroadcastCongestedClique",
     "broadcast_clique_matmul",

@@ -284,18 +284,39 @@ class BooleanSemiring(Semiring):
     #: sizes the engines produce.
     BOOL_TILE = 1024
 
-    #: Size floor for the bit-packed kernel: below it the per-chunk 256-row
-    #: OR tables are not amortised over the gathered rows and the ``float32``
-    #: GEMM tile wins (it keeps winning for the small per-node blocks the
-    #: engines batch).  Both kernels cost the same at every density -- the
-    #: word-parallel ORs and the GEMM ignore the population count alike --
-    #: so the crossover is purely a size threshold (measured on this class
-    #: of hardware; the property tests sweep densities across the boundary).
-    PACKED_MIN_DIM = 256
+    #: Work floor for the bit-packed kernel, in elementary ``m * k * n``
+    #: AND/OR operations.  The GEMM tile does that work in ``float32`` ops;
+    #: the packed kernel does ``~(k/8)(n/64)(256 + m)`` word ops (table
+    #: build + gather/reduce), so packing wins once the product is large
+    #: *as a whole* -- including skinny-but-huge shapes like
+    #: ``(64, 4096, 4096)`` that a per-dimension floor wrongly rejects.
+    #: ``256**3`` reproduces the old crossover exactly on cube shapes while
+    #: keeping the small per-node blocks the engines batch (``64**3`` work)
+    #: on the measured-faster GEMM tile.  Both kernels are density-blind
+    #: (word-parallel ORs and BLAS alike ignore the population count), so
+    #: the crossover is purely about work and pack widths.
+    PACKED_MIN_WORK = 256**3
+
+    #: Minimum output width for packing to pay: below one ``uint64`` word of
+    #: output columns the word-parallel OR sweep degenerates to scalar ops.
+    PACKED_MIN_WIDTH = 64
+
+    #: Minimum inner dimension: below one 8-bit chunk the 256-row OR tables
+    #: cannot amortise at all.
+    PACKED_MIN_INNER = 8
 
     def _use_packed(self, m: int, k: int, n: int) -> bool:
-        """The size heuristic selecting the bit-packed kernel."""
-        return min(m, k, n) >= self.PACKED_MIN_DIM
+        """The work-based heuristic selecting the bit-packed kernel.
+
+        The dispatch can never change values (all kernels are exact); it
+        only picks the faster one.  The crossover is pinned by
+        ``tests/test_kernel_gen2.py``.
+        """
+        return (
+            n >= self.PACKED_MIN_WIDTH
+            and k >= self.PACKED_MIN_INNER
+            and m * k * n >= self.PACKED_MIN_WORK
+        )
 
     def matmul(
         self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None

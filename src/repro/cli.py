@@ -9,7 +9,9 @@ can be run without writing Python:
 * ``triangles`` / ``four-cycles`` -- subgraph counting/detection on a
   generated workload, against the Dolev baseline;
 * ``apsp`` -- a chosen APSP variant on a random weighted digraph;
-* ``girth`` -- girth of a generated graph.
+* ``girth`` -- girth of a generated graph;
+* ``spanner`` -- a Baswana-Sen ``(2k-1)``-spanner via session products;
+* ``mst`` -- the Jurdzinski-Nowicki O(1)-round MST skeleton.
 
 All workloads are seeded and printed with their parameters, so every
 invocation is reproducible.
@@ -192,6 +194,105 @@ def _cmd_girth(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     return 0 if ok else 1
 
 
+def _require_selection_engine(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, command: str
+) -> None:
+    """Die with usage when a min-plus workload is pointed at bilinear."""
+    if args.engine == "bilinear":
+        parser.error(
+            f"{command} runs min-plus session products, which need a "
+            "selection-semiring engine (--engine semiring or naive); the "
+            "bilinear engine only multiplies over rings (Theorem 1)"
+        )
+
+
+def _cmd_spanner(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.graphs import random_weighted_graph
+    from repro.spanning import build_spanner, spanner_stretch
+
+    _require_selection_engine(parser, args, "spanner")
+    g = random_weighted_graph(args.n, args.p, args.max_weight, seed=args.seed)
+    clique = _make_clique(parser, args, args.n)
+    result = build_spanner(
+        g, args.k, method=args.engine, clique=clique, seed=args.seed
+    )
+    stretch = spanner_stretch(g, result.value)
+    bound = result.extras["stretch_bound"]
+    ok = stretch <= bound + 1e-9
+    print(
+        f"G(n={args.n}, p={args.p}) seed={args.seed}: "
+        f"({2 * args.k - 1})-spanner with {result.extras['spanner_edges']} "
+        f"of {g.edge_count} edges in {result.rounds} rounds "
+        f"({args.engine} engine, clique {result.clique_size}, "
+        f"shards={clique.executor.shards})"
+    )
+    print(f"measured stretch {stretch:.4f} (bound {bound}) verified={ok}")
+    return 0 if ok else 1
+
+
+def _cmd_mst(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.graphs import random_weighted_graph
+    from repro.spanning import minimum_spanning_forest, mst_reference
+
+    _require_selection_engine(parser, args, "mst")
+    g = random_weighted_graph(args.n, args.p, args.max_weight, seed=args.seed)
+    clique = _make_clique(parser, args, args.n)
+    result = minimum_spanning_forest(
+        g,
+        method=args.engine,
+        clique=clique,
+        seed=args.seed,
+        boruvka_phases=args.phases,
+    )
+    edges, weight = mst_reference(g)
+    ok = result.extras["edges"] == edges
+    print(
+        f"G(n={args.n}, p={args.p}) seed={args.seed}: MSF weight "
+        f"{result.extras['weight']} ({len(result.extras['edges'])} edges) "
+        f"in {result.rounds} rounds ({args.engine} engine, clique "
+        f"{result.clique_size}, shards={clique.executor.shards}, "
+        f"{result.extras['phases']} phases, "
+        f"{result.extras['flight_survivors']} F-light survivors)"
+    )
+    print(
+        f"exact match with Kruskal oracle (weight {weight}): {ok}"
+    )
+    return 0 if ok else 1
+
+
+def _shards_type(value: str) -> int:
+    """Argparse type for ``--shards``: a positive worker count.
+
+    The lower bound is enforced here, at parse time, for every subcommand
+    (``--shards 0`` or a negative count can never be valid); the upper
+    bound (``shards <= clique size``) needs the problem size, so
+    :func:`_make_clique` enforces it as soon as the clique is built --
+    still before any simulation runs.
+    """
+    try:
+        shards = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid shard count {value!r}")
+    if shards < 1:
+        raise argparse.ArgumentTypeError(
+            f"--shards must be >= 1 (and <= the clique size), got {shards}"
+        )
+    return shards
+
+
+def _phases_type(value: str) -> int:
+    """Argparse type for ``mst --phases``: a non-negative phase count."""
+    try:
+        phases = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid phase count {value!r}")
+    if phases < 0:
+        raise argparse.ArgumentTypeError(
+            f"--phases must be >= 0, got {phases}"
+        )
+    return phases
+
+
 def _add_engine_flags(
     p: argparse.ArgumentParser,
     *,
@@ -212,7 +313,7 @@ def _add_engine_flags(
     )
     p.add_argument(
         "--shards",
-        type=int,
+        type=_shards_type,
         default=1,
         metavar="N",
         help="local-compute worker processes, 1 <= N <= clique size "
@@ -272,6 +373,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=10)
     _add_engine_flags(p)
     p.set_defaults(func=_cmd_girth, parser=p)
+
+    p = sub.add_parser(
+        "spanner", help="a (2k-1)-spanner via session cluster-growing"
+    )
+    p.add_argument("n", type=int)
+    p.add_argument("--k", type=int, default=2, help="stretch parameter")
+    p.add_argument("--p", type=float, default=0.35)
+    p.add_argument("--max-weight", type=int, default=30)
+    _add_engine_flags(p, default="semiring")
+    p.set_defaults(func=_cmd_spanner, parser=p)
+
+    p = sub.add_parser(
+        "mst", help="minimum spanning forest (O(1)-round KKT skeleton)"
+    )
+    p.add_argument("n", type=int)
+    p.add_argument("--p", type=float, default=0.3)
+    p.add_argument("--max-weight", type=int, default=50)
+    p.add_argument(
+        "--phases",
+        type=_phases_type,
+        default=2,
+        help="Boruvka phases before sampling (>= 0)",
+    )
+    _add_engine_flags(p, default="semiring")
+    p.set_defaults(func=_cmd_mst, parser=p)
     return parser
 
 

@@ -29,6 +29,7 @@ from repro.runtime import (
     make_clique,
     or_broadcast,
     pad_matrix,
+    resolve_rng,
 )
 
 
@@ -78,7 +79,7 @@ def apsp_up_to(
     # products and the next-hop table updated as in Corollary 6.
     from repro.matmul.witnesses import find_witnesses
 
-    witness_rng = witness_rng or np.random.default_rng(0)
+    witness_rng = resolve_rng(witness_rng, 0)
     next_hop = np.full(dist.shape, -1, dtype=np.int64)
     rows, cols = np.nonzero(dist < INF)
     next_hop[rows, cols] = cols

@@ -42,6 +42,7 @@ from repro.runtime import (
     make_clique,
     or_broadcast,
     pad_matrix,
+    resolve_rng,
 )
 from repro.subgraphs.colour_coding import detect_colourful_cycle
 
@@ -63,6 +64,7 @@ def girth_undirected(
     cutoff: int | None = None,
     trials_per_k: int | None = None,
     rng: np.random.Generator | None = None,
+    seed: int | None = 0,
     clique: CongestedClique | None = None,
     mode: ScheduleMode = ScheduleMode.FAST,
 ) -> RunResult:
@@ -72,11 +74,13 @@ def girth_undirected(
     ``trials_per_k`` defaults to ``ceil(e^k ln n)`` per the paper.  If every
     detection misses (probability ``n^{-Omega(1)}``), the algorithm falls
     back to learning the whole graph -- correctness is never sacrificed,
-    only (with tiny probability) the round bound.
+    only (with tiny probability) the round bound.  Randomness resolution is
+    :func:`repro.runtime.resolve_rng` (deterministic by default;
+    ``seed=None`` for the advancing shared stream).
     """
     if graph.directed:
         raise ValueError("use girth_directed for directed graphs")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = resolve_rng(rng, seed)
     n = graph.n
     clique = clique or make_clique(n, method, mode=mode)
     cutoff = cutoff if cutoff is not None else default_cycle_length_cutoff()

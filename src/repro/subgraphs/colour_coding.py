@@ -39,6 +39,7 @@ from repro.runtime import (
     make_clique,
     or_broadcast,
     pad_matrix,
+    resolve_rng,
 )
 
 
@@ -141,6 +142,7 @@ def detect_k_cycle(
     method: str = "bilinear",
     trials: int | None = None,
     rng: np.random.Generator | None = None,
+    seed: int | None = 0,
     clique: CongestedClique | None = None,
     mode: ScheduleMode = ScheduleMode.FAST,
     failure_probability: float = 0.01,
@@ -150,10 +152,16 @@ def detect_k_cycle(
     Soundness is unconditional (``value=True`` certifies a cycle);
     completeness holds with probability ``>= 1 - failure_probability`` under
     the default trial budget.
+
+    Randomness follows :func:`repro.runtime.resolve_rng`: deterministic by
+    default (``seed=0``), while ``seed=None`` draws from the shared
+    module-level stream so *repeated* trial batches explore fresh
+    colourings -- the ``e^k ln(1/eps)`` budget then buys real coverage
+    across calls instead of replaying the first batch.
     """
     if k < 3:
         raise ValueError(f"cycles need k >= 3, got {k}")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = resolve_rng(rng, seed)
     clique = clique or make_clique(graph.n, method, mode=mode)
     session = EngineSession(clique, method, BOOLEAN)
     a = pad_matrix(graph.adjacency, clique.n)

@@ -20,7 +20,13 @@ import numpy as np
 
 from repro.clique.model import CongestedClique, ScheduleMode
 from repro.graphs.graphs import Graph
-from repro.runtime import RunResult, make_clique, or_broadcast, pad_matrix
+from repro.runtime import (
+    RunResult,
+    make_clique,
+    or_broadcast,
+    pad_matrix,
+    resolve_rng,
+)
 from repro.subgraphs.colour_coding import default_trials
 
 # Reuse the Lemma 11 recursion internals for the C(X) matrices.
@@ -123,14 +129,19 @@ def detect_k_path(
     method: str = "bilinear",
     trials: int | None = None,
     rng: np.random.Generator | None = None,
+    seed: int | None = 0,
     clique: CongestedClique | None = None,
     mode: ScheduleMode = ScheduleMode.FAST,
     failure_probability: float = 0.01,
 ) -> RunResult:
-    """Detect a simple path on ``k`` nodes, w.h.p., in 2^{O(k)} n^rho log n rounds."""
+    """Detect a simple path on ``k`` nodes, w.h.p., in 2^{O(k)} n^rho log n rounds.
+
+    Randomness resolution is :func:`repro.runtime.resolve_rng`:
+    deterministic by default, ``seed=None`` for the advancing shared stream.
+    """
     if k < 2:
         raise ValueError(f"path detection needs k >= 2, got {k}")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = resolve_rng(rng, seed)
     clique = clique or make_clique(graph.n, method, mode=mode)
     a = pad_matrix(graph.adjacency, clique.n)
     budget = trials if trials is not None else max(

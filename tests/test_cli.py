@@ -37,9 +37,47 @@ class TestEngineShardValidation:
             main(["matmul", "16", "--shards", "99"])
         assert "shards must be in [1, clique size 16]" in capsys.readouterr().err
 
-    def test_non_positive_shards_rejected(self):
+    #: Every subcommand carrying the shared engine/shard flags.
+    SHARDED_COMMANDS = [
+        ["matmul", "16"],
+        ["triangles", "12"],
+        ["apsp", "10"],
+        ["girth", "12"],
+        ["spanner", "12"],
+        ["mst", "12"],
+    ]
+
+    @pytest.mark.parametrize("argv", SHARDED_COMMANDS)
+    @pytest.mark.parametrize("shards", ["0", "-3"])
+    def test_non_positive_shards_rejected_at_parse_time(
+        self, argv, shards, capsys
+    ):
+        """``--shards 0``/negative dies in argparse, before any simulation."""
         with pytest.raises(SystemExit):
-            main(["matmul", "16", "--shards", "0"])
+            build_parser().parse_args(argv + ["--shards", shards])
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_garbage_shards_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matmul", "16", "--shards", "two"])
+        assert "invalid shard count" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", SHARDED_COMMANDS)
+    def test_shards_beyond_clique_rejected_everywhere(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            main(argv + ["--shards", "99"])
+        assert "shards must be in [1, clique size" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["spanner", "mst"])
+    def test_spanning_commands_reject_bilinear(self, command, capsys):
+        with pytest.raises(SystemExit):
+            main([command, "12", "--engine", "bilinear"])
+        assert "selection-semiring engine" in capsys.readouterr().err
+
+    def test_negative_mst_phases_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mst", "12", "--phases", "-1"])
+        assert "--phases must be >= 0" in capsys.readouterr().err
 
     def test_exact_apsp_rejects_bilinear_engine(self, capsys):
         with pytest.raises(SystemExit):
@@ -75,6 +113,10 @@ class TestCommands:
             ["girth", "14", "--family", "directed"],
             ["apsp", "10", "--variant", "exact"],
             ["apsp", "12", "--variant", "unweighted"],
+            ["spanner", "14", "--k", "2"],
+            ["spanner", "12", "--k", "3", "--engine", "naive"],
+            ["mst", "14"],
+            ["mst", "12", "--phases", "1", "--engine", "naive"],
         ],
     )
     def test_commands_succeed(self, argv, capsys):

@@ -76,6 +76,32 @@ class TestDetectKCycle:
         )
         assert result.value, f"missed planted {k}-cycle (seed {seed})"
 
+    def test_seed_parameter_reproduces_and_matches_rng(self):
+        """``seed=`` is determinism-by-default: equal to an explicit
+        generator with the same seed, and stable across calls."""
+        g = planted_cycle_graph(16, 4, seed=3, extra_edge_prob=0.3)
+        by_seed = detect_k_cycle(g, 4, trials=20, seed=42)
+        again = detect_k_cycle(g, 4, trials=20, seed=42)
+        by_rng = detect_k_cycle(g, 4, trials=20, rng=np.random.default_rng(42))
+        assert by_seed.value == again.value == by_rng.value
+        assert (
+            by_seed.extras["trials_used"]
+            == again.extras["trials_used"]
+            == by_rng.extras["trials_used"]
+        )
+
+    def test_shared_stream_gives_fresh_trial_batches(self):
+        """``seed=None`` routes to the advancing module-level stream, so
+        back-to-back batches draw different colourings (the old in-call
+        ``default_rng(0)`` replayed the first batch forever)."""
+        from repro.runtime import resolve_rng
+
+        state_before = resolve_rng(seed=None).bit_generator.state
+        g = gnp_random_graph(12, 0.1, seed=5)  # likely no 4-cycle; cheap
+        detect_k_cycle(g, 4, trials=3, seed=None)
+        state_after = resolve_rng(seed=None).bit_generator.state
+        assert state_before != state_after
+
     @pytest.mark.slow
     def test_completeness_k5_deterministic(self):
         # k = 5 has per-trial success ~0.038, so the property version would

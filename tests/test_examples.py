@@ -35,6 +35,12 @@ CASES = [
     ),
     pytest.param("scaling_study.py", ["--small"], [], id="scaling_study.py"),
     pytest.param("bottleneck_routing.py", ["16"], [], id="bottleneck_routing.py"),
+    pytest.param(
+        "spanning_workloads.py",
+        ["22"],
+        ["edge-for-edge", "O(1)-round collectives"],
+        id="spanning_workloads.py",
+    ),
 ]
 
 

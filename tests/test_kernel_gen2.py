@@ -59,17 +59,48 @@ class TestPackedBoolean:
     @pytest.mark.parametrize("dim", [255, 256, 257])
     @pytest.mark.parametrize("density", [0.0, 0.02, 0.5])
     def test_heuristic_crossover_boundary(self, dim, density):
-        """Sizes straddling PACKED_MIN_DIM agree on both sides of the
+        """Cube sizes straddling the work floor agree on both sides of the
         dispatch (the heuristic may change the kernel, never the values)."""
         rng = np.random.default_rng(dim * 1000 + int(density * 100))
         x = (rng.random((dim, dim)) < density).astype(np.int64)
         y = (rng.random((dim, dim)) < density).astype(np.int64)
         assert BOOLEAN._use_packed(dim, dim, dim) == (
-            dim >= BOOLEAN.PACKED_MIN_DIM
+            dim**3 >= BOOLEAN.PACKED_MIN_WORK
         )
         dispatched = BOOLEAN.matmul(x, y)
         assert np.array_equal(dispatched, BOOLEAN.gemm_matmul(x, y))
         assert np.array_equal(dispatched, BOOLEAN.packed_matmul(x, y))
+
+    def test_work_based_dispatch_crossover(self):
+        """The crossover, pinned: total work decides, not the smallest dim.
+
+        Skinny-but-huge blocks (small ``m``, huge ``k``/``n``) clear the
+        work floor and take the Four Russians kernel -- the shapes the old
+        ``min(m, k, n) >= 256`` floor wrongly kept on the GEMM tile -- while
+        the small per-node blocks the engines batch stay on the GEMM path.
+        """
+        # Skinny-but-huge: old min-dim floor said GEMM, work floor says packed.
+        assert BOOLEAN._use_packed(64, 4096, 4096)
+        assert BOOLEAN._use_packed(32, 2048, 4096)
+        # Cube shapes: same verdicts as the old 256 floor.
+        assert BOOLEAN._use_packed(256, 256, 256)
+        assert not BOOLEAN._use_packed(255, 255, 255)
+        # Engine-batch blocks (64^3 work) stay on the measured-faster GEMM.
+        assert not BOOLEAN._use_packed(64, 64, 64)
+        # Pack-width floors: degenerate trailing/inner dims never pack,
+        # whatever the work.
+        assert not BOOLEAN._use_packed(10**6, 10**6, 63)
+        assert not BOOLEAN._use_packed(10**6, 7, 10**6)
+
+    def test_skinny_dispatch_values_exact(self):
+        """A skinny shape past the work floor: dispatched == GEMM == cube."""
+        rng = np.random.default_rng(11)
+        m, k, n = 5, 1024, 4096  # m*k*n just above 256**3
+        assert BOOLEAN._use_packed(m, k, n)
+        x = (rng.random((m, k)) < 0.2).astype(np.int64)
+        y = (rng.random((k, n)) < 0.2).astype(np.int64)
+        dispatched = BOOLEAN.matmul(x, y)
+        assert np.array_equal(dispatched, BOOLEAN.gemm_matmul(x, y))
 
     def test_nonsquare_and_word_boundaries(self):
         """Shapes around the 8-bit chunk and byte-packing boundaries."""

@@ -14,6 +14,7 @@ from repro.runtime import (
     or_broadcast,
     pad_matrix,
     required_clique_size,
+    resolve_rng,
     sum_broadcast,
 )
 
@@ -108,3 +109,33 @@ class TestBroadcastHelpers:
     def test_make_clique_padding(self):
         clique = make_clique(20, "semiring")
         assert clique.n == 27
+
+
+class TestResolveRng:
+    def test_explicit_rng_wins(self):
+        rng = np.random.default_rng(123)
+        assert resolve_rng(rng, seed=5) is rng
+        assert resolve_rng(rng, seed=None) is rng
+
+    def test_deterministic_by_default(self):
+        a = resolve_rng().integers(0, 1000, 16)
+        b = resolve_rng().integers(0, 1000, 16)
+        assert np.array_equal(a, b)
+
+    def test_seed_selects_stream(self):
+        a = resolve_rng(seed=7).integers(0, 1000, 16)
+        b = resolve_rng(seed=7).integers(0, 1000, 16)
+        c = resolve_rng(seed=8).integers(0, 1000, 16)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_shared_stream_advances_across_calls(self):
+        """``seed=None`` is the fix for replayed trial batches: the shared
+        module-level generator keeps advancing, so two successive calls
+        draw different randomness."""
+        first = resolve_rng(seed=None)
+        second = resolve_rng(seed=None)
+        assert first is second  # one shared stream, not two fresh ones
+        a = first.integers(0, 2**30, 32)
+        b = second.integers(0, 2**30, 32)
+        assert not np.array_equal(a, b)
