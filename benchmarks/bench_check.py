@@ -77,6 +77,7 @@ SECTIONS = (
     "boolean_product",
     "kernel2",
     "spanning",
+    "faults",
     "sessions",
 )
 
@@ -169,8 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         "--gate-only",
         action="store_true",
         help="run only the fixed-size gateable sections (the bench-quick "
-        "lane: kernel_gate/bilinear/boolean_product/kernel2/spanning, no "
-        "heavy end-to-end rows)",
+        "lane: kernel_gate/bilinear/boolean_product/kernel2/spanning/"
+        "faults, no heavy end-to-end rows)",
     )
     args = parser.parse_args(argv)
 

@@ -30,6 +30,11 @@ Times four layers and writes ``BENCH_matmul.json``:
 * **Spanning** -- the PR 5 spanner/MST workloads through engine sessions,
   at one fixed size in every mode; their deterministic round bills are
   gated for exact equality by ``bench_check``.
+* **Faults** -- the PR 6 robustness layer: a min-plus closure on the
+  replication-coded robust collectives under seeded flip/drop/crash
+  adversaries, verified equal to the fault-free oracle, with the
+  deterministic encoded vs abstract round bills (exact-equality gated)
+  and the honest redundancy ``overhead_factor``.
 * **Sessions** -- the end-to-end engine-session pipeline: exact APSP and
   directed girth through one bound session on the serial vs the sharded
   executor (identical rounds asserted), the packed min-plus witness kernel
@@ -386,6 +391,71 @@ def spanning_section(reps: int) -> dict:
     return section
 
 
+def faults_section(reps: int) -> dict:
+    """Encoded-exchange overhead under seeded adversaries (fixed size, gated).
+
+    One min-plus closure (the exact-APSP core) per fault kind on the robust
+    replication-coded collectives, against a seeded in-budget adversary, at
+    one fixed size in every mode.  Every row is verified equal to the
+    fault-free oracle before anything is timed -- the robustness invariant
+    is *no silent wrong answers*, so a row that decodes differently is a
+    bug, not a data point.  ``rounds``/``abstract_rounds`` are deterministic
+    (the adversary and the relay assignments are pure functions of the
+    seeds) and ``bench_check`` gates them for exact equality; the honest
+    redundancy bill is their ratio, ``overhead_factor``.
+    """
+    from repro.engine.session import EngineSession, make_clique
+    from repro.faults import FaultPlan
+    from repro.graphs import apsp_reference, random_weighted_digraph
+    from repro.runtime import pad_matrix
+
+    n, t = 16, 1
+    graph = random_weighted_digraph(n, 0.35, 9, seed=0)
+    weights = graph.weight_matrix()
+    oracle = apsp_reference(graph)
+
+    def closure(clique):
+        session = EngineSession(clique, "semiring", MIN_PLUS)
+        padded = pad_matrix(weights, clique.n, fill=INF)
+        np.fill_diagonal(padded, 0)
+        return session.closure(padded)[:n, :n]
+
+    section: dict[str, dict] = {}
+    baseline = make_clique(n, "semiring")
+    assert np.array_equal(closure(baseline), oracle)
+    section["fault_free_closure"] = {
+        "n": n,
+        "rounds": baseline.rounds,
+        "seconds": round(_best_of(lambda: closure(make_clique(n, "semiring")), reps), 4),
+    }
+
+    for kind in ("flip", "drop", "crash"):
+        def run_robust(kind=kind):
+            clique = make_clique(
+                n,
+                "semiring",
+                fault_plan=FaultPlan(t=t, seed=0, kind=kind),
+                fault_tolerance=t,
+            )
+            return clique, closure(clique)
+
+        clique, value = run_robust()
+        assert np.array_equal(value, oracle), f"silent corruption ({kind})"
+        assert clique.abstract_meter.rounds == baseline.rounds
+        section[f"robust_closure_{kind}"] = {
+            "n": n,
+            "t": t,
+            "copies": clique.copies,
+            "rounds": clique.meter.rounds,
+            "abstract_rounds": clique.abstract_meter.rounds,
+            "faults_injected": clique.faults_injected,
+            "retries": clique.retries,
+            "overhead_factor": round(clique.overhead_factor, 2),
+            "seconds": round(_best_of(run_robust, reps), 4),
+        }
+    return section
+
+
 def session_section(apsp_n: int, girth_n: int, shards: int, reps: int) -> dict:
     """End-to-end engine sessions: serial vs sharded, cache vs replanning.
 
@@ -614,6 +684,8 @@ def build_report(quick: bool, gate_only: bool = False) -> dict:
     report["kernel2"] = kernel2_section(reps)
     # Spanning workloads (PR 5): fixed size, rounds gated for equality.
     report["spanning"] = spanning_section(reps)
+    # Fault-injection overhead (PR 6): fixed size, rounds gated for equality.
+    report["faults"] = faults_section(reps)
     if gate_only:
         return report
     report["sessions"] = session_section(

@@ -34,19 +34,52 @@ def _cmd_table1(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
 
 
 def _make_clique(parser: argparse.ArgumentParser, args: argparse.Namespace, n: int):
-    """Build the (possibly sharded) clique for a command, or die with usage.
+    """Build the (possibly sharded, possibly robust) clique, or die with usage.
 
     Centralises the ``--engine`` / ``--shards`` wiring: the clique is sized
     for the chosen engine and carries the serial or sharded local-compute
-    executor the engine sessions run on.
+    executor the engine sessions run on.  ``--faults T`` additionally
+    installs a seeded adversary corrupting up to ``T`` relay nodes per
+    exchange *and* the replication-coded robust collectives sized to
+    survive it -- the run then either matches the fault-free oracle
+    exactly or dies with ``FaultToleranceExceeded``, never silently wrong.
     """
     from repro.runtime import make_clique
 
     shards = getattr(args, "shards", 1)
+    fault_plan = None
+    fault_tolerance = None
+    if getattr(args, "faults", 0):
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan(
+            t=args.faults, seed=args.fault_seed, kind=args.fault_kind
+        )
+        fault_tolerance = args.fault_tolerance or args.faults
     try:
-        return make_clique(n, args.engine, shards=shards)
+        return make_clique(
+            n,
+            args.engine,
+            shards=shards,
+            fault_plan=fault_plan,
+            fault_tolerance=fault_tolerance,
+        )
     except ValueError as exc:
         parser.error(str(exc))
+
+
+def _print_fault_summary(args: argparse.Namespace, clique) -> None:
+    """One line of adversary + redundancy accounting for ``--faults`` runs."""
+    if not getattr(args, "faults", 0):
+        return
+    print(
+        f"faults: kind={args.fault_kind} t={args.faults} "
+        f"seed={args.fault_seed} injected={clique.faults_injected} "
+        f"retries={clique.retries} | encoded rounds={clique.meter.rounds} "
+        f"vs abstract {clique.abstract_meter.rounds} "
+        f"(overhead {clique.overhead_factor:.2f}x, "
+        f"{clique.copies}-way replication)"
+    )
 
 
 def _cmd_matmul(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -64,6 +97,7 @@ def _cmd_matmul(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     print(f"engine={args.engine} n={n} clique={clique.n} "
           f"shards={clique.executor.shards} "
           f"rounds={clique.rounds} correct={ok}")
+    _print_fault_summary(args, clique)
     print(clique.meter.report())
     return 0 if ok else 1
 
@@ -145,6 +179,7 @@ def _cmd_apsp(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         result = apsp_exact(g, method=engine, clique=clique)
     print(f"APSP variant={args.variant} n={args.n}: {result.rounds} rounds "
           f"on a {result.clique_size}-node clique")
+    _print_fault_summary(args, clique)
     reference = apsp_reference(g)
     if args.variant == "approx":
         from repro.constants import INF
@@ -257,6 +292,7 @@ def _cmd_mst(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     print(
         f"exact match with Kruskal oracle (weight {weight}): {ok}"
     )
+    _print_fault_summary(args, clique)
     return 0 if ok else 1
 
 
@@ -291,6 +327,63 @@ def _phases_type(value: str) -> int:
             f"--phases must be >= 0, got {phases}"
         )
     return phases
+
+
+def _faults_type(value: str) -> int:
+    """Argparse type for ``--faults``: a non-negative adversary budget."""
+    try:
+        faults = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid fault budget {value!r}")
+    if faults < 0:
+        raise argparse.ArgumentTypeError(
+            f"--faults must be >= 0 corrupt relays per exchange, got {faults}"
+        )
+    return faults
+
+
+def _add_fault_flags(p: argparse.ArgumentParser) -> None:
+    """The ``--faults`` / ``--fault-seed`` / ``--fault-kind`` trio.
+
+    ``--faults T`` runs the workload on the replication-coded robust
+    collectives (``c = 2T + 1`` copies over disjoint relays, supported-
+    majority decode) against a seeded adversary corrupting up to ``T``
+    relay nodes in every array exchange.  The answer is guaranteed to
+    equal the fault-free oracle or the run dies with
+    ``FaultToleranceExceeded`` -- never a silent wrong answer.  The
+    redundancy is billed honestly and reported next to the abstract
+    (fault-free) meter.
+    """
+    p.add_argument(
+        "--faults",
+        type=_faults_type,
+        default=0,
+        metavar="T",
+        help="tolerate up to T corrupt relay nodes per exchange via "
+        "(2T+1)-way encoded collectives (default: 0, fault-free model)",
+    )
+    p.add_argument(
+        "--fault-tolerance",
+        type=_faults_type,
+        default=0,
+        metavar="T",
+        help="size the replication code for T corrupt relays instead of "
+        "matching --faults; under-provisioning (T < --faults) demos the "
+        "detect-retry-degrade path (default: match --faults)",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic adversary (default: %(default)s)",
+    )
+    p.add_argument(
+        "--fault-kind",
+        choices=["flip", "drop", "crash"],
+        default="flip",
+        help="corruption behaviour: word flips, per-exchange message "
+        "drops, or monotone crash-stop (default: %(default)s)",
+    )
 
 
 def _add_engine_flags(
@@ -337,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("matmul", help="one distributed matrix product")
     p.add_argument("n", type=int)
     _add_engine_flags(p)
+    _add_fault_flags(p)
     p.set_defaults(func=_cmd_matmul, parser=p)
 
     p = sub.add_parser("triangles", help="triangle counting on G(n, p)")
@@ -362,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Engine default depends on the variant (exact -> semiring,
     # unweighted/approx -> bilinear); resolved in _cmd_apsp.
     _add_engine_flags(p, default=None)
+    _add_fault_flags(p)
     p.set_defaults(func=_cmd_apsp, parser=p)
 
     p = sub.add_parser("girth", help="girth computation")
@@ -397,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Boruvka phases before sampling (>= 0)",
     )
     _add_engine_flags(p, default="semiring")
+    _add_fault_flags(p)
     p.set_defaults(func=_cmd_mst, parser=p)
     return parser
 
@@ -404,7 +500,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args, args.parser)
+    from repro.errors import FaultToleranceExceeded
+
+    try:
+        return args.func(args, args.parser)
+    except FaultToleranceExceeded as exc:
+        # The degrade arm of detect-retry-degrade: an adversary beyond the
+        # encoded budget stops the run loudly -- never a silent wrong answer.
+        print(f"fault tolerance exceeded: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

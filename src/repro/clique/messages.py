@@ -77,6 +77,17 @@ def block_widths(blocks: np.ndarray, word_bits: int) -> np.ndarray:
     blocks = np.asarray(blocks)
     if blocks.ndim < 2:
         raise ValueError("block_widths expects a (pieces, ...) batch")
+    if blocks.dtype == object:
+        raise ValueError(
+            "block_widths: object-dtype batch (pieces must be fixed-width "
+            "integers, not Python objects)"
+        )
+    if np.issubdtype(blocks.dtype, np.inexact) and not np.isfinite(blocks).all():
+        bad = int(np.nonzero(~np.isfinite(blocks.reshape(blocks.shape[0], -1)).all(axis=1))[0][0])
+        raise ValueError(
+            f"block_widths: non-finite entries (NaN/inf) in piece {bad} -- "
+            "widths would be meaningless"
+        )
     entries = int(np.prod(blocks.shape[1:]))
     if entries == 0:
         return np.zeros(blocks.shape[0], dtype=np.int64)
@@ -101,6 +112,29 @@ def words_for_array(arr: np.ndarray, word_bits: int) -> int:
     return int(arr.size) * words_for_value(max_abs, word_bits)
 
 
+def _check_payload(node: int, payload: Any) -> None:
+    """Reject payloads no fixed-width word encoding exists for.
+
+    Words are integers in this model; a NaN/inf float or an object-dtype
+    array has no honest word width, so it must die here with the offending
+    node named, not downstream as an opaque numpy cast error.
+    """
+    if isinstance(payload, float) and not math.isfinite(payload):
+        raise ValueError(
+            f"node {node}: non-finite payload {payload!r} has no word encoding"
+        )
+    if isinstance(payload, np.ndarray):
+        if payload.dtype == object:
+            raise ValueError(
+                f"node {node}: object-dtype payload array (ship fixed-width "
+                "words, not Python objects)"
+            )
+        if np.issubdtype(payload.dtype, np.inexact) and not np.isfinite(payload).all():
+            raise ValueError(
+                f"node {node}: non-finite entries (NaN/inf) in payload array"
+            )
+
+
 def validate_outboxes(
     outboxes: list[list[tuple[int, Any, int]]], n: int, allow_self: bool = False
 ) -> None:
@@ -108,7 +142,8 @@ def validate_outboxes(
 
     Each ``outboxes[v]`` is a list of ``(dst, payload, words)`` triples: the
     messages node ``v`` wants delivered.  Raises ``ValueError`` on malformed
-    input (the caller wraps into :class:`~repro.errors.CliqueModelError`).
+    input (the caller wraps into :class:`~repro.errors.CliqueModelError`),
+    always naming the offending node.
     """
     if len(outboxes) != n:
         raise ValueError(f"expected {n} outboxes, got {len(outboxes)}")
@@ -116,13 +151,14 @@ def validate_outboxes(
         for item in box:
             if len(item) != 3:
                 raise ValueError(f"node {v}: outbox item must be (dst, payload, words)")
-            dst, _payload, words = item
+            dst, payload, words = item
             if not (0 <= dst < n):
                 raise ValueError(f"node {v}: destination {dst} out of range")
             if dst == v and not allow_self:
                 raise ValueError(f"node {v}: self-addressed message")
             if words <= 0:
                 raise ValueError(f"node {v}: non-positive word count {words}")
+            _check_payload(v, payload)
 
 
 __all__ = [

@@ -162,24 +162,28 @@ class CongestedClique:
         shared = list(payloads)
         return [shared[:] for _ in range(n)]
 
-    def _charge_broadcast(self, widths: list[int], phase: str) -> None:
-        """Meter one all-to-all broadcast of per-node ``widths`` words.
+    def _broadcast_cost(self, widths: list[int], phase: str) -> PhaseCost:
+        """The :class:`PhaseCost` of one all-to-all broadcast (not charged).
 
         Shared by the tuple and array broadcast paths so both charge
-        bit-identical costs for identical widths.
+        bit-identical costs for identical widths; exposed separately from
+        :meth:`_charge_broadcast` so the encoded collectives
+        (:mod:`repro.faults`) can account the same exchange on two meters.
         """
         n = self.n
-        self.meter.charge(
-            PhaseCost(
-                phase=phase,
-                primitive="broadcast",
-                rounds=broadcast_rounds(widths),
-                words=sum(w * (n - 1) for w in widths),
-                payloads=n,
-                max_send_words=max(w * (n - 1) for w in widths),
-                max_recv_words=sum(widths) - min(widths),
-            )
+        return PhaseCost(
+            phase=phase,
+            primitive="broadcast",
+            rounds=broadcast_rounds(widths),
+            words=sum(w * (n - 1) for w in widths),
+            payloads=n,
+            max_send_words=max(w * (n - 1) for w in widths),
+            max_recv_words=sum(widths) - min(widths),
         )
+
+    def _charge_broadcast(self, widths: list[int], phase: str) -> None:
+        """Meter one all-to-all broadcast of per-node ``widths`` words."""
+        self.meter.charge(self._broadcast_cost(widths, phase))
 
     def send(
         self,
@@ -305,8 +309,20 @@ class CongestedClique:
                 raise CliqueModelError("per-node word widths must have length n")
             if any(w < 0 for w in width_list):
                 raise CliqueModelError("negative broadcast width")
+        return self._deliver_broadcast_rows(rows, width_list, phase)
+
+    def _deliver_broadcast_rows(
+        self, rows: np.ndarray, width_list: list[int], phase: str
+    ) -> np.ndarray:
+        """Charge and deliver one validated row broadcast (override seam).
+
+        The fault-free model charges the honest widths and hands back the
+        shared replica through the (identity) :meth:`_tamper_broadcast`
+        seam; the robust collectives override this to run the replication-
+        coded variant with the same validated inputs.
+        """
         self._charge_broadcast(width_list, phase)
-        return rows
+        return self._tamper_broadcast(rows, phase)
 
     def route_array(
         self,
@@ -351,6 +367,7 @@ class CongestedClique:
         """
         batch = self._flatten_checked(dests, blocks, widths, tags)
         self._charge_routed_batch(batch, phase, expect_max_load)
+        batch = self._tamper_batch(batch, phase)
         return deliver_array_flat(batch) if flat else deliver_array(batch)
 
     def route_array_take(
@@ -404,6 +421,7 @@ class CongestedClique:
                 "node (take/owners disagree with the batch destinations)"
             )
         self._charge_routed_batch(batch, phase, expect_max_load)
+        batch = self._tamper_batch(batch, phase)
         return np.take(batch.blocks, take, axis=0, out=out)
 
     def _flatten_checked(
@@ -423,10 +441,15 @@ class CongestedClique:
         except ValueError as exc:
             raise CliqueModelError(str(exc)) from exc
 
-    def _charge_routed_batch(
+    def _routed_batch_cost(
         self, batch, phase: str, expect_max_load: int | None
-    ) -> None:
-        """Meter one routed array batch (shared by both delivery styles)."""
+    ) -> PhaseCost:
+        """The :class:`PhaseCost` of one routed array batch (not charged).
+
+        Shared by both delivery styles; exposed separately from
+        :meth:`_charge_routed_batch` so the encoded collectives can account
+        the same exchange on two meters.
+        """
         exact = self.mode is ScheduleMode.EXACT
         profile = analyze_array(batch, with_demand=exact)
         enforce_load_bound(profile, expect_max_load)
@@ -434,17 +457,41 @@ class CongestedClique:
             rounds = relay_schedule(profile.demand, self.n).rounds
         else:
             rounds = relay_rounds_fast(profile.max_load, self.n)
-        self.meter.charge(
-            PhaseCost(
-                phase=phase,
-                primitive="route",
-                rounds=rounds,
-                words=profile.total_words,
-                payloads=profile.payloads,
-                max_send_words=profile.max_send,
-                max_recv_words=profile.max_recv,
-            )
+        return PhaseCost(
+            phase=phase,
+            primitive="route",
+            rounds=rounds,
+            words=profile.total_words,
+            payloads=profile.payloads,
+            max_send_words=profile.max_send,
+            max_recv_words=profile.max_recv,
         )
+
+    def _charge_routed_batch(
+        self, batch, phase: str, expect_max_load: int | None
+    ) -> None:
+        """Meter one routed array batch (shared by both delivery styles)."""
+        self.meter.charge(self._routed_batch_cost(batch, phase, expect_max_load))
+
+    # ------------------------------------------------------------------ #
+    # Delivery-interception seams (identity in the fault-free model)
+    # ------------------------------------------------------------------ #
+    #
+    # Every array-collective delivery funnels through one of these two
+    # hooks *after* its cost is charged.  The base class returns its input
+    # unchanged -- same objects, zero copies -- so the fault-free charge
+    # path and delivered contents are bit-identical with or without the
+    # seams (pinned by the equivalence suite).  The fault-injection layer
+    # (:class:`repro.faults.FaultyClique`) overrides them to corrupt
+    # in-transit pieces according to a seeded plan.
+
+    def _tamper_batch(self, batch, phase: str):
+        """Intercept one flattened routed/direct batch before delivery."""
+        return batch
+
+    def _tamper_broadcast(self, rows: np.ndarray, phase: str) -> np.ndarray:
+        """Intercept one broadcast row/record stack before delivery."""
+        return rows
 
     def send_array(
         self,
@@ -475,6 +522,14 @@ class CongestedClique:
             batch = flatten_array_batch(dests, blocks, widths, tags, self.n)
         except ValueError as exc:
             raise CliqueModelError(str(exc)) from exc
+        self.meter.charge(self._direct_batch_cost(batch, phase, expect_max_pair))
+        batch = self._tamper_batch(batch, phase)
+        return deliver_array(batch)
+
+    def _direct_batch_cost(
+        self, batch, phase: str, expect_max_pair: int | None
+    ) -> PhaseCost:
+        """The :class:`PhaseCost` of one direct array batch (not charged)."""
         profile = analyze_array(batch, with_demand=True)
         rounds = direct_rounds(profile.demand)
         if expect_max_pair is not None and rounds > expect_max_pair:
@@ -482,18 +537,15 @@ class CongestedClique:
                 f"per-pair traffic of {rounds} words exceeds the asserted "
                 f"bound {expect_max_pair}"
             )
-        self.meter.charge(
-            PhaseCost(
-                phase=phase,
-                primitive="send",
-                rounds=rounds,
-                words=profile.total_words,
-                payloads=profile.payloads,
-                max_send_words=profile.max_send,
-                max_recv_words=profile.max_recv,
-            )
+        return PhaseCost(
+            phase=phase,
+            primitive="send",
+            rounds=rounds,
+            words=profile.total_words,
+            payloads=profile.payloads,
+            max_send_words=profile.max_send,
+            max_recv_words=profile.max_recv,
         )
-        return deliver_array(batch)
 
     def scatter_blocks(
         self,
@@ -663,8 +715,24 @@ class CongestedClique:
         ]
         if any(h.shape[0] > per_holder for h in held):
             raise AssertionError("round-robin placement exceeded ceil(R/n)")
-        self._charge_broadcast(bcast_widths, f"{phase}/broadcast")
-        return np.concatenate(held, axis=0)
+        return self._broadcast_held(held, bcast_widths, f"{phase}/broadcast")
+
+    def _broadcast_held(
+        self,
+        held: list[np.ndarray],
+        bcast_widths: list[int],
+        phase: str,
+    ) -> np.ndarray:
+        """Charge and deliver the holders' broadcast of an allgather.
+
+        The override seam for the final phase of :meth:`allgather_rows`:
+        the fault-free model charges the per-holder widths and concatenates
+        the held records (through the identity :meth:`_tamper_broadcast`);
+        the robust collectives override it with the replication-coded
+        variant.
+        """
+        self._charge_broadcast(bcast_widths, phase)
+        return self._tamper_broadcast(np.concatenate(held, axis=0), phase)
 
     def transpose_array(
         self,

@@ -176,8 +176,12 @@ def _flatten_uniform(
     if dst.size:
         if int(dst.min()) < 0 or int(dst.max()) >= n:
             raise ValueError("array batch destination out of range")
-        if np.any(width_vec[dst != src] <= 0):
-            raise ValueError("non-positive word count in array batch")
+        bad = np.nonzero((width_vec <= 0) & (dst != src))[0]
+        if bad.size:
+            raise ValueError(
+                f"node {int(src[bad[0]])}: non-positive word count "
+                f"{int(width_vec[bad[0]])} in array batch"
+            )
     return ArrayBatch(
         n=n, src=src, dst=dst, widths=width_vec, blocks=block_mat, tags=tag_vec
     )
@@ -244,8 +248,12 @@ def flatten_array_batch(
     if dst.size:
         if int(dst.min()) < 0 or int(dst.max()) >= n:
             raise ValueError("array batch destination out of range")
-        if np.any(width_vec[dst != src] <= 0):
-            raise ValueError("non-positive word count in array batch")
+        bad = np.nonzero((width_vec <= 0) & (dst != src))[0]
+        if bad.size:
+            raise ValueError(
+                f"node {int(src[bad[0]])}: non-positive word count "
+                f"{int(width_vec[bad[0]])} in array batch"
+            )
     return ArrayBatch(
         n=n, src=src, dst=dst, widths=width_vec, blocks=block_mat, tags=tag_vec
     )

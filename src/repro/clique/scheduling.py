@@ -43,6 +43,8 @@ import math
 from collections import defaultdict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ScheduleValidationError
 
 # A demand maps an ordered node pair (src, dst) to a word count.
@@ -318,6 +320,47 @@ def broadcast_rounds(words_per_node: list[int]) -> int:
     return max(words_per_node)
 
 
+#: Knuth's multiplicative-hash constant; spreads consecutive piece indices
+#: over the relay ring so one corrupt node does not hit a contiguous run of
+#: pieces.
+_RELAY_STRIDE = 2654435761
+
+
+def disjoint_relays(pieces: int, copies: int, n: int, salt: int = 0) -> np.ndarray:
+    """Relay assignment for replicated oblivious routing.
+
+    Returns a ``(pieces, copies)`` int64 array: copy ``j`` of piece ``i``
+    traverses intermediate node ``(base_i + j) mod n``.  This mirrors the
+    batch construction of :func:`relay_schedule` -- within a batch, the
+    matching with batch-local slot ``i`` is relayed through node ``i``, so
+    consecutive slots mean distinct intermediates.  Assigning the ``copies``
+    replicas of a piece to consecutive slots therefore puts them on
+    pairwise-*distinct* relay nodes (requires ``copies <= n``), which is the
+    disjointness the majority decode's support threshold counts on: an
+    adversary corrupting ``t`` nodes in an exchange touches at most ``t`` of
+    a piece's copies.
+
+    The assignment is a pure function of ``(pieces, copies, n, salt)`` --
+    oblivious routing is input-independent and public, so fault plans and
+    decoders agree on it without communication.  ``salt`` varies the base
+    permutation per exchange (retries re-route through fresh relays).
+    """
+    if n < 1:
+        raise ValueError(f"relay assignment needs n >= 1, got {n}")
+    if not 1 <= copies <= n:
+        raise ValueError(
+            f"need 1 <= copies <= n = {n} pairwise-distinct relays per "
+            f"piece, got copies = {copies}"
+        )
+    if pieces < 0:
+        raise ValueError(f"piece count must be non-negative, got {pieces}")
+    base = (
+        np.arange(pieces, dtype=np.int64) * _RELAY_STRIDE
+        + np.int64(salt % n) * 40503
+    ) % n
+    return (base[:, None] + np.arange(copies, dtype=np.int64)[None, :]) % n
+
+
 __all__ = [
     "Demand",
     "direct_rounds",
@@ -328,4 +371,5 @@ __all__ = [
     "relay_schedule",
     "validate_relay_schedule",
     "broadcast_rounds",
+    "disjoint_relays",
 ]

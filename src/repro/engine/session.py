@@ -80,17 +80,47 @@ def make_clique(
     mode: ScheduleMode = ScheduleMode.FAST,
     word_bits: int | None = None,
     shards: int = 1,
+    fault_plan=None,
+    fault_tolerance: int | None = None,
 ) -> CongestedClique:
     """A clique sized for an ``n``-node problem under ``method``.
 
     ``shards > 1`` attaches a sharded local-compute executor
     (:class:`~repro.clique.executor.ShardedExecutor`); round charges are
     unaffected, only the simulator's wall clock.
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) installs a seeded
+    adversary over the array collectives; ``fault_tolerance`` additionally
+    selects the replication-coded robust collectives
+    (:class:`~repro.faults.RobustClique`) sized to survive that many
+    corrupt relays per exchange.  A plan without a tolerance is the
+    *unprotected* wrapper (:class:`~repro.faults.FaultyClique`) -- useful
+    only to demonstrate silent corruption.  With neither, the plain
+    fault-free model is returned, untouched.
     """
     size = required_clique_size(n, method)
     if not 1 <= shards <= size:
         raise ValueError(
             f"shards must be in [1, clique size {size}], got {shards}"
+        )
+    if fault_plan is not None or fault_tolerance is not None:
+        from repro.faults import FaultyClique, RobustClique
+
+        if fault_tolerance is not None:
+            return RobustClique(
+                size,
+                plan=fault_plan,
+                tolerance=fault_tolerance,
+                mode=mode,
+                word_bits=word_bits,
+                executor=make_executor(shards),
+            )
+        return FaultyClique(
+            size,
+            plan=fault_plan,
+            mode=mode,
+            word_bits=word_bits,
+            executor=make_executor(shards),
         )
     return CongestedClique(
         size, mode=mode, word_bits=word_bits, executor=make_executor(shards)

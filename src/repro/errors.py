@@ -55,6 +55,18 @@ class AlgorithmFailureError(ReproError):
     """
 
 
+class FaultToleranceExceeded(ReproError):
+    """An encoded exchange could not be decoded within the retry budget.
+
+    Raised by the robust collectives (:mod:`repro.faults`) when, after the
+    bounded number of retries, some piece still lacks the support threshold
+    of agreeing valid copies -- i.e. the adversary corrupted more relays
+    than the replication degree tolerates.  This is the *degrade* arm of
+    detect-retry-degrade: the computation stops loudly instead of returning
+    a silently wrong answer.
+    """
+
+
 __all__ = [
     "ReproError",
     "CliqueModelError",
@@ -63,4 +75,5 @@ __all__ = [
     "ScheduleValidationError",
     "NegativeCycleError",
     "AlgorithmFailureError",
+    "FaultToleranceExceeded",
 ]

@@ -1,0 +1,39 @@
+"""Fault injection and encoded-exchange robustness for the collective stack.
+
+The subsystem has three layers (PR 6; see DESIGN.md "Fault model"):
+
+* :mod:`repro.faults.plan` -- seeded deterministic adversaries
+  (:class:`FaultPlan`): word flips, message drops, crash-stop, corrupting
+  up to ``t`` relay nodes per exchange.
+* :mod:`repro.faults.injection` -- :class:`FaultyClique`, a pure
+  interception wrapper over the array collectives (bit-identical charges
+  and contents when no plan is installed).
+* :mod:`repro.faults.protocol` -- :class:`RobustClique`, replication-coded
+  collectives with supported-majority decode
+  (:func:`majority_decode`) and detect-retry-degrade semantics: a robust
+  closure equals the fault-free oracle or raises
+  :class:`FaultToleranceExceeded` -- never a silent wrong answer.
+
+Motivated by the robust Congested Clique compilers of Censor-Hillel et al.
+(arXiv:2508.08740): our collectives move fixed-width records, so a
+replication code over disjoint relay sets drops in without touching the
+algorithms above the session API.
+"""
+
+from repro.errors import FaultToleranceExceeded
+from repro.faults.encoding import majority_decode
+from repro.faults.injection import FaultyClique, corrupt_pieces, flip_masks
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.protocol import MirroredMeter, RobustClique
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultyClique",
+    "RobustClique",
+    "MirroredMeter",
+    "FaultToleranceExceeded",
+    "majority_decode",
+    "corrupt_pieces",
+    "flip_masks",
+]

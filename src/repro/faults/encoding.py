@@ -1,0 +1,73 @@
+"""Vectorised majority decode for replication-coded exchanges.
+
+The robust collectives ship ``c = 2T + 1`` copies of every piece through
+pairwise-distinct relays (:func:`repro.clique.scheduling.disjoint_relays`).
+Decoding is per-word majority with a *support threshold*: a word's value is
+accepted only if at least ``threshold`` valid copies agree on it.  With
+``threshold = T + 1`` this gives the two halves of detect-retry-degrade:
+
+* **in budget** (at most ``T`` corrupt relays): at least ``T + 1`` honest
+  copies agree on the truth, so every word decodes -- and decodes
+  *correctly*, because flip corruption is pairwise distinct across relays
+  (no wrong value can ever gather 2 agreeing copies) and drops are known
+  erasures (invalid, excluded from support);
+* **beyond budget**: the truth may lose its majority, but no wrong value
+  can reach the threshold either -- the decode *fails loudly* (``ok`` is
+  False) instead of returning a silently wrong word.  That detection is
+  what the retry/degrade layer keys on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def majority_decode(
+    copies: np.ndarray, valid: np.ndarray, threshold: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-word supported-majority decode of a replicated exchange.
+
+    Args:
+        copies: ``(p, c, *piece_shape)`` int64 array -- ``c`` received
+            copies of each of ``p`` pieces.
+        valid: ``(p, c)`` bool -- False marks a known erasure (dropped /
+            crashed relay); invalid copies neither vote nor win.
+        threshold: minimum number of agreeing valid copies a word needs.
+
+    Returns:
+        ``(decoded, ok)``: ``decoded`` is ``(p, *piece_shape)`` int64 --
+        per word, the value of the best-supported valid copy; ``ok`` is
+        ``(p,)`` bool -- True iff *every* word of the piece reached the
+        support threshold.  Pieces with ``ok`` False carry no guarantee
+        (callers must retry or raise, never use them).
+    """
+    copies = np.asarray(copies)
+    if copies.ndim < 2:
+        raise ValueError("majority_decode expects a (pieces, copies, ...) stack")
+    p, c = copies.shape[:2]
+    valid = np.asarray(valid, dtype=bool)
+    if valid.shape != (p, c):
+        raise ValueError(f"validity mask must have shape {(p, c)}, got {valid.shape}")
+    if threshold < 1:
+        raise ValueError(f"support threshold must be positive, got {threshold}")
+    flat = copies.reshape(p, c, -1)
+    w = flat.shape[2]
+    # support[i, j, k]: how many *valid* copies agree with copy j on word k.
+    # Accumulated one copy at a time -- O(c) passes over (p, c, w) instead of
+    # materialising the (p, c, c, w) pairwise-equality tensor (c is tiny,
+    # w is the whole exchange).
+    support = np.zeros((p, c, w), dtype=np.int16)
+    for k in range(c):
+        agree = flat == flat[:, k : k + 1, :]
+        agree &= valid[:, k, None, None]
+        support += agree
+    # Invalid copies cannot win the argmax either.
+    support[~valid] = 0
+    best = support.argmax(axis=1)
+    best_support = np.take_along_axis(support, best[:, None, :], axis=1)[:, 0, :]
+    decoded = np.take_along_axis(flat, best[:, None, :], axis=1)[:, 0, :]
+    ok = (best_support >= threshold).all(axis=1)
+    return decoded.reshape((p,) + copies.shape[2:]), ok
+
+
+__all__ = ["majority_decode"]

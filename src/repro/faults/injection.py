@@ -1,0 +1,170 @@
+"""Fault injection over the array collectives.
+
+:func:`corrupt_pieces` applies a :class:`~repro.faults.plan.FaultPlan` to
+the in-transit pieces of one exchange; :class:`FaultyClique` wires it into
+the delivery-interception seams of
+:class:`~repro.clique.model.CongestedClique` (``_tamper_batch`` /
+``_tamper_broadcast``).  The wrapper is *pure interception*: it never
+touches the charge path, so with no plan installed (or ``t = 0``) rounds,
+words, and delivered contents are bit-identical to the base model -- the
+equivalence the fault suite pins.
+
+Relay attribution: piece ``i``'s copy ``j`` transits the intermediate node
+``disjoint_relays(...)[i, j]`` -- the same public, input-oblivious
+assignment the encoded collectives replicate over, so the adversary model
+and the decoder's support argument talk about the same relays.  (For plain,
+un-encoded exchanges ``copies = 1``: every piece has a single relay, and a
+corrupt relay silently corrupts it -- that is exactly the vulnerability the
+robust layer exists to close.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.clique.model import CongestedClique
+from repro.clique.scheduling import disjoint_relays
+from repro.faults.plan import FaultKind, FaultPlan
+
+#: Odd 64-bit multiplier (splitmix64's golden-ratio constant).  Flip masks
+#: are ``(relay + 1) * _FLIP_MULT`` in uint64: odd multipliers are units mod
+#: ``2**64``, so masks are nonzero and pairwise distinct across relays --
+#: a flipped word never equals the truth, and two corrupt relays never
+#: produce the same wrong word.  The majority decoder's "no silent wrong
+#: answers" guarantee rests on exactly these two properties.
+_FLIP_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+def flip_masks(relays: np.ndarray) -> np.ndarray:
+    """The per-relay corruption masks, as int64 (same bits as the uint64)."""
+    return ((np.asarray(relays).astype(np.uint64) + np.uint64(1)) * _FLIP_MULT).view(
+        np.int64
+    )
+
+
+def corrupt_pieces(
+    plan: FaultPlan,
+    exchange_id: int,
+    n: int,
+    blocks: np.ndarray,
+    *,
+    copies: int = 1,
+    skip: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Apply one exchange's worth of corruption to in-transit pieces.
+
+    Args:
+        plan: the adversary.
+        exchange_id: monotone per-clique exchange counter (salts the relay
+            assignment and, for FLIP/DROP, the corrupt-set redraw).
+        n: clique size.
+        blocks: ``(P, *piece_shape)`` int64 stack of in-transit pieces; for
+            replicated exchanges copy ``j`` of piece ``i`` sits at row
+            ``i * copies + j`` (``P`` must be a multiple of ``copies``).
+        copies: replication degree of the exchange layout.
+        skip: optional ``(P,)`` bool -- pieces that never leave their node
+            (self-addressed) and therefore cannot be corrupted in transit.
+
+    Returns:
+        ``(tampered, hit, dropped)``: the (possibly shared, see below)
+        piece stack, the ``(P,)`` bool mask of corrupted pieces, and the
+        ``(P,)`` bool mask of known erasures (DROP/CRASH hits).  When no
+        piece is hit the *input* ``blocks`` is returned unchanged and
+        uncopied; when any piece is hit, ``tampered`` is a fresh copy --
+        caller-owned and arena memory is never mutated in place.
+    """
+    total = blocks.shape[0]
+    if copies < 1 or total % copies:
+        raise ValueError(
+            f"piece count {total} is not a multiple of the replication "
+            f"degree {copies}"
+        )
+    no_drop = np.zeros(total, dtype=bool)
+    corrupt = plan.corrupt_nodes(n, exchange_id)
+    if corrupt.size == 0 or total == 0:
+        return blocks, no_drop, no_drop
+    relays = disjoint_relays(total // copies, copies, n, salt=exchange_id).reshape(-1)
+    is_corrupt = np.zeros(n, dtype=bool)
+    is_corrupt[corrupt] = True
+    hit = is_corrupt[relays]
+    if skip is not None:
+        hit &= ~np.asarray(skip, dtype=bool)
+    if not hit.any():
+        return blocks, hit, no_drop
+    tampered = blocks.copy()
+    if plan.kind is FaultKind.FLIP:
+        masks = flip_masks(relays[hit]).reshape((-1,) + (1,) * (blocks.ndim - 1))
+        tampered[hit] = (tampered[hit].view(np.uint64) ^ masks.view(np.uint64)).view(
+            np.int64
+        )
+        dropped = no_drop
+    else:  # DROP / CRASH: the copy is lost -- a known erasure.
+        tampered[hit] = 0
+        dropped = hit.copy()
+    return tampered, hit, dropped
+
+
+class FaultyClique(CongestedClique):
+    """A congested clique whose array-collective deliveries may be corrupted.
+
+    Overrides only the delivery-interception seams: the charge path, round
+    counts, and (when ``plan`` is None or ``t = 0``) delivered contents are
+    bit-identical to :class:`~repro.clique.model.CongestedClique`.  This is
+    the *unprotected* wrapper -- corruption flows straight into the
+    computation, demonstrating the silent-wrong-answer failure mode the
+    robust layer (:class:`~repro.faults.protocol.RobustClique`) closes.
+
+    Broadcast interception is a deliberate coarsening: the simulator shares
+    one replica across receivers, so a corrupted broadcast piece is seen
+    corrupted by *all* receivers (as if the sender's uplink were hit),
+    rather than per-receiver.
+
+    Attributes:
+        plan: the installed :class:`~repro.faults.plan.FaultPlan`, or None.
+        faults_injected: total pieces corrupted so far (diagnostics).
+    """
+
+    def __init__(
+        self, n: int, *, plan: FaultPlan | None = None, **kwargs
+    ) -> None:
+        super().__init__(n, **kwargs)
+        self.plan = plan
+        self._exchange_index = 0
+        self.faults_injected = 0
+
+    def _next_exchange(self) -> int:
+        """Draw the next monotone exchange id (salts relays + corrupt sets)."""
+        index = self._exchange_index
+        self._exchange_index += 1
+        return index
+
+    def _tamper_batch(self, batch, phase: str):
+        if self.plan is None or self.plan.t == 0:
+            return batch
+        exchange_id = self._next_exchange()
+        tampered, hit, _dropped = corrupt_pieces(
+            self.plan,
+            exchange_id,
+            self.n,
+            batch.blocks,
+            skip=batch.dst == batch.src,
+        )
+        self.faults_injected += int(hit.sum())
+        if not hit.any():
+            return batch
+        return replace(batch, blocks=tampered)
+
+    def _tamper_broadcast(self, rows: np.ndarray, phase: str) -> np.ndarray:
+        if self.plan is None or self.plan.t == 0:
+            return rows
+        exchange_id = self._next_exchange()
+        tampered, hit, _dropped = corrupt_pieces(
+            self.plan, exchange_id, self.n, rows
+        )
+        self.faults_injected += int(hit.sum())
+        return tampered if hit.any() else rows
+
+
+__all__ = ["FaultyClique", "corrupt_pieces", "flip_masks"]

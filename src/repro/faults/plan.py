@@ -1,0 +1,106 @@
+"""Seeded, deterministic adversarial fault plans.
+
+A :class:`FaultPlan` describes a *transit adversary* over the clique's
+array collectives: in every intercepted exchange it may corrupt the traffic
+relayed through up to ``t`` nodes.  Three corruption kinds are modelled:
+
+* ``FLIP`` -- words passing through a corrupt relay are XORed with a
+  relay-specific nonzero mask (an arbitrary-value corruption, but one the
+  decoder can reason about: masks are pairwise distinct across relays, so
+  two corrupt relays can never agree on the same wrong word).
+* ``DROP`` -- the relayed copy is lost; the receiver observes a known
+  erasure (modelled as a zeroed piece plus an invalid flag).
+* ``CRASH`` -- crash-stop: a fixed set of up to ``t`` nodes each picks a
+  crash time (an exchange index); from that exchange on, everything relayed
+  through the node is dropped.  Crashes are monotone -- a crashed node never
+  comes back -- which is what distinguishes the kind from per-exchange
+  ``DROP``.
+
+Everything is a pure function of ``(seed, kind, t, exchange index)`` via
+``np.random.default_rng`` seed sequences, so a logged seed replays the exact
+corruption pattern (see ``runtime.reseed_shared_rng`` for the surrounding
+stream discipline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+
+import numpy as np
+
+
+class FaultKind(Enum):
+    """What a corrupt relay does to the words passing through it."""
+
+    FLIP = "flip"
+    DROP = "drop"
+    CRASH = "crash"
+
+
+#: Seed-sequence salt for the crash draw, fixed so the crash schedule is a
+#: function of the plan seed alone (not of any exchange index).
+_CRASH_SALT = 0xC4A54
+
+
+@lru_cache(maxsize=128)
+def _crash_draw(
+    seed: int, t: int, n: int, crash_window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The fixed crash schedule: up to ``t`` nodes and their crash times."""
+    rng = np.random.default_rng((seed, _CRASH_SALT))
+    nodes = np.sort(rng.choice(n, size=min(t, n), replace=False))
+    crash_at = rng.integers(0, crash_window, size=nodes.shape[0])
+    return nodes, crash_at
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic adversary corrupting up to ``t`` relays per exchange.
+
+    Attributes:
+        t: adversary budget -- the maximum number of corrupt relay nodes in
+            any single intercepted exchange.  ``t = 0`` is the null plan
+            (installs the interception machinery but corrupts nothing).
+        seed: root of every random draw the plan makes.
+        kind: corruption behaviour (:class:`FaultKind`, or its string value).
+        crash_window: for ``CRASH`` plans, crash times are drawn uniformly
+            from ``[0, crash_window)`` exchange indices -- small windows make
+            every crash bite early even in short runs.
+    """
+
+    t: int
+    seed: int = 0
+    kind: FaultKind = FaultKind.FLIP
+    crash_window: int = 8
+
+    def __post_init__(self) -> None:
+        if isinstance(self.kind, str):
+            object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.t < 0:
+            raise ValueError(f"fault budget must be non-negative, got {self.t}")
+        if self.crash_window < 1:
+            raise ValueError(
+                f"crash window must be positive, got {self.crash_window}"
+            )
+
+    def corrupt_nodes(self, n: int, exchange_id: int) -> np.ndarray:
+        """The (sorted) corrupt relay set for one exchange.
+
+        ``FLIP``/``DROP`` redraw the set per exchange (a mobile adversary);
+        ``CRASH`` returns the fixed nodes whose crash time has passed, so
+        the set is monotone non-decreasing in ``exchange_id``.
+        """
+        if self.t == 0 or n == 0:
+            return np.zeros(0, dtype=np.int64)
+        if self.kind is FaultKind.CRASH:
+            nodes, crash_at = _crash_draw(self.seed, self.t, n, self.crash_window)
+            return nodes[crash_at <= exchange_id].astype(np.int64, copy=True)
+        rng = np.random.default_rng((self.seed, exchange_id))
+        return np.sort(rng.choice(n, size=min(self.t, n), replace=False)).astype(
+            np.int64
+        )
+
+
+__all__ = ["FaultKind", "FaultPlan"]

@@ -1,0 +1,394 @@
+"""Replication-coded robust collectives: detect, retry, degrade.
+
+:class:`RobustClique` re-implements the array collectives of
+:class:`~repro.clique.model.CongestedClique` as ``c = 2T + 1``-way
+replication codes over pairwise-distinct relays
+(:func:`repro.clique.scheduling.disjoint_relays`), decoded by supported
+majority (:func:`repro.faults.encoding.majority_decode`).  The protocol per
+exchange:
+
+1. **encode/ship**: every piece travels ``c`` times through ``c`` distinct
+   relay nodes; the redundancy is charged *honestly* -- the actual meter
+   bills the replicated exchange (and, for broadcasts, the relay fan-out
+   leg), not the abstract one.
+2. **detect**: a word whose best-supported value has fewer than ``T + 1``
+   agreeing valid copies is an inconsistency (flip masks are pairwise
+   distinct across relays and drops are known erasures, so no wrong value
+   can ever reach the threshold -- see :mod:`repro.faults.encoding`).
+3. **retry**: a detected inconsistency re-ships the exchange through a
+   fresh relay assignment (the exchange counter salts
+   ``disjoint_relays``), up to ``max_retries`` times, each retry billed.
+4. **degrade**: past the budget the exchange raises
+   :class:`~repro.errors.FaultToleranceExceeded`.  The invariant is *no
+   silent wrong answers, ever*: a robust closure either equals the
+   fault-free oracle edge-for-edge or raises.
+
+Meter separation: ``clique.meter`` (a :class:`MirroredMeter`) bills what
+the robust run actually spends; ``clique.abstract_meter`` bills what the
+same workload costs on a fault-free clique -- phase-for-phase identical to
+the oracle's meter, so the redundancy overhead factor is just the ratio of
+the two round totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.clique.accounting import CostMeter, PhaseCost
+from repro.clique.messages import block_widths
+from repro.clique.routing import (
+    ArrayBatch,
+    deliver_array,
+    deliver_array_flat,
+    flatten_array_batch,
+)
+from repro.clique.scheduling import disjoint_relays
+from repro.errors import CliqueModelError, FaultToleranceExceeded
+from repro.faults.encoding import majority_decode
+from repro.faults.injection import FaultyClique, corrupt_pieces
+from repro.faults.plan import FaultPlan
+
+
+class MirroredMeter(CostMeter):
+    """A cost meter that forwards every charge to a second, abstract meter.
+
+    The robust clique points ``self.meter`` here: primitives that are not
+    encoded (tuple broadcasts, transposes, ...) cost the same with or
+    without faults, so they are billed on both meters.  The encoded
+    collectives flip ``mirror`` off and split the billing by hand --
+    replicated cost to the actual meter, fault-free cost to the abstract
+    one -- which keeps the abstract meter phase-for-phase equal to a
+    fault-free oracle run.
+    """
+
+    def __init__(self, abstract: CostMeter) -> None:
+        super().__init__()
+        self.abstract = abstract
+        self.mirror = True
+
+    def charge(self, cost: PhaseCost) -> None:
+        super().charge(cost)
+        if self.mirror:
+            self.abstract.charge(cost)
+
+
+class RobustClique(FaultyClique):
+    """A congested clique whose array collectives tolerate ``T`` corrupt relays.
+
+    Args:
+        n: clique size.
+        plan: the adversary (:class:`~repro.faults.plan.FaultPlan`), or None
+            to run the encoded protocol fault-free (redundancy still billed).
+        tolerance: ``T`` -- the per-exchange corruption budget the code must
+            survive; the replication degree is ``c = 2T + 1`` (requires
+            ``c <= n`` pairwise-distinct relays).
+        max_retries: re-ship attempts after a detected inconsistency before
+            degrading to :class:`~repro.errors.FaultToleranceExceeded`.
+
+    Attributes:
+        abstract_meter: the fault-free bill (equals the oracle's meter).
+        meter: the actual bill, redundancy and retries included.
+        retries: re-shipped exchanges so far.
+        decode_failures: exchanges that degraded (raised) so far.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        plan: FaultPlan | None = None,
+        tolerance: int = 1,
+        max_retries: int = 2,
+        **kwargs,
+    ) -> None:
+        super().__init__(n, plan=plan, **kwargs)
+        if tolerance < 1:
+            raise ValueError(
+                f"robust collectives need tolerance >= 1, got {tolerance}"
+            )
+        copies = 2 * tolerance + 1
+        if copies > n:
+            raise CliqueModelError(
+                f"replication degree 2*{tolerance}+1 = {copies} needs {copies} "
+                f"pairwise-distinct relays but the clique has only {n} nodes"
+            )
+        if max_retries < 0:
+            raise ValueError(f"retry budget must be non-negative, got {max_retries}")
+        self.tolerance = tolerance
+        self.copies = copies
+        self.max_retries = max_retries
+        self.abstract_meter = CostMeter()
+        self.meter: MirroredMeter = MirroredMeter(self.abstract_meter)
+        self.retries = 0
+        self.decode_failures = 0
+
+    # ------------------------------------------------------------------ #
+    # Core encode -> corrupt -> decode -> retry loop
+    # ------------------------------------------------------------------ #
+
+    def _decode_replicated(
+        self,
+        pieces: np.ndarray,
+        rep_blocks: np.ndarray,
+        skip_rep: np.ndarray | None,
+        abstract_cost: PhaseCost,
+        rep_costs: Callable[[int], list[PhaseCost]],
+        phase: str,
+    ) -> np.ndarray:
+        """Run one encoded exchange end to end; return the decoded pieces.
+
+        ``pieces`` is the ``(P, ...)`` fault-free truth, ``rep_blocks`` its
+        ``(P * c, ...)`` replication (copy ``j`` of piece ``i`` at row
+        ``i * c + j``).  ``rep_costs(exchange_id)`` yields the actual-meter
+        charges of one shipping attempt (relay assignment, and hence
+        broadcast balance, depends on the exchange id).
+        """
+        c = self.copies
+        p = pieces.shape[0]
+        self.meter.mirror = False
+        try:
+            self.abstract_meter.charge(abstract_cost)
+            for attempt in range(self.max_retries + 1):
+                exchange_id = self._next_exchange()
+                for cost in rep_costs(exchange_id):
+                    self.meter.charge(cost)
+                if self.plan is None or self.plan.t == 0:
+                    return pieces
+                tampered, hit, dropped = corrupt_pieces(
+                    self.plan,
+                    exchange_id,
+                    self.n,
+                    rep_blocks,
+                    copies=c,
+                    skip=skip_rep,
+                )
+                self.faults_injected += int(hit.sum())
+                decoded, ok = majority_decode(
+                    tampered.reshape((p, c) + pieces.shape[1:]),
+                    ~dropped.reshape(p, c),
+                    self.tolerance + 1,
+                )
+                if bool(ok.all()):
+                    return decoded
+                if attempt < self.max_retries:
+                    self.retries += 1
+            self.decode_failures += 1
+            raise FaultToleranceExceeded(
+                f"phase {phase!r}: {int((~ok).sum())} of {p} pieces failed to "
+                f"reach the support threshold {self.tolerance + 1} after "
+                f"{self.max_retries + 1} attempts (tolerance {self.tolerance}, "
+                f"fault kind {self.plan.kind.value!r}, budget t={self.plan.t})"
+            )
+        finally:
+            self.meter.mirror = True
+
+    def _robust_routed(
+        self, batch: ArrayBatch, abstract_cost: PhaseCost, phase: str
+    ) -> np.ndarray:
+        """Encoded variant of one routed/direct batch; returns decoded blocks.
+
+        The replicated exchange is charged as a *routed* exchange even when
+        the abstract one is direct: relaying through ``c`` distinct
+        intermediates is what buys the disjointness the decode needs, so a
+        replicated direct send is physically a Lenzen-routed exchange.
+        """
+        c = self.copies
+        rep_batch = ArrayBatch(
+            n=batch.n,
+            src=np.repeat(batch.src, c),
+            dst=np.repeat(batch.dst, c),
+            widths=np.repeat(batch.widths, c),
+            blocks=np.repeat(batch.blocks, c, axis=0),
+            tags=None,
+        )
+        rep_cost = self._routed_batch_cost(rep_batch, f"{phase}/encoded", None)
+        skip_rep = np.repeat(batch.dst == batch.src, c)
+        return self._decode_replicated(
+            batch.blocks,
+            rep_batch.blocks,
+            skip_rep,
+            abstract_cost,
+            lambda _exchange_id: [rep_cost],
+            phase,
+        )
+
+    def _robust_broadcast(
+        self,
+        pieces: np.ndarray,
+        owners: np.ndarray,
+        piece_widths: np.ndarray,
+        abstract_cost: PhaseCost,
+        phase: str,
+    ) -> np.ndarray:
+        """Encoded variant of one row broadcast; returns the decoded rows.
+
+        A plain broadcast has no relays, so a corrupt *sender-side* hit
+        would defeat naive repetition (all copies share the fault).  The
+        encoded broadcast therefore relays: each piece is routed to its
+        ``c`` distinct relay nodes (fan-out leg, billed as a routed
+        exchange), and each relay broadcasts the copies it holds (billed by
+        the per-relay balance of the assignment).
+        """
+        c = self.copies
+        n = self.n
+        p = pieces.shape[0]
+        rep_widths = np.repeat(piece_widths, c)
+        rep_owners = np.repeat(owners, c)
+
+        def rep_costs(exchange_id: int) -> list[PhaseCost]:
+            relays = disjoint_relays(p, c, n, salt=exchange_id).reshape(-1)
+            fan_batch = ArrayBatch(
+                n=n,
+                src=rep_owners,
+                dst=relays,
+                widths=rep_widths,
+                blocks=np.zeros((relays.shape[0], 0), dtype=np.int64),
+                tags=None,
+            )
+            fan_cost = self._routed_batch_cost(fan_batch, f"{phase}/fanout", None)
+            per_relay = np.zeros(n, dtype=np.int64)
+            np.add.at(per_relay, relays, rep_widths)
+            bcast_cost = self._broadcast_cost(
+                [int(w) for w in per_relay], f"{phase}/encoded"
+            )
+            return [fan_cost, bcast_cost]
+
+        return self._decode_replicated(
+            pieces,
+            np.repeat(pieces, c, axis=0),
+            None,
+            abstract_cost,
+            rep_costs,
+            phase,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Robust overrides of the array collectives
+    # ------------------------------------------------------------------ #
+
+    def route_array(
+        self,
+        dests,
+        blocks,
+        *,
+        widths=None,
+        tags=None,
+        phase: str = "route",
+        expect_max_load: int | None = None,
+        flat: bool = False,
+    ):
+        batch = self._flatten_checked(dests, blocks, widths, tags)
+        abstract_cost = self._routed_batch_cost(batch, phase, expect_max_load)
+        decoded = self._robust_routed(batch, abstract_cost, phase)
+        out_batch = replace(batch, blocks=decoded)
+        return deliver_array_flat(out_batch) if flat else deliver_array(out_batch)
+
+    def route_array_take(
+        self,
+        dests,
+        blocks,
+        *,
+        take: np.ndarray,
+        widths=None,
+        out: np.ndarray | None = None,
+        owners: np.ndarray | None = None,
+        phase: str = "route",
+        expect_max_load: int | None = None,
+    ) -> np.ndarray:
+        batch = self._flatten_checked(dests, blocks, widths, None)
+        # Same discipline as the base model: reject a bad gather *before*
+        # anything is charged, on either meter.
+        take = np.asarray(take, dtype=np.intp)
+        if take.size and (
+            int(take.min()) < 0 or int(take.max()) >= batch.blocks.shape[0]
+        ):
+            raise CliqueModelError("route_array_take: take index out of range")
+        if owners is not None and not np.array_equal(batch.dst[take], owners):
+            raise CliqueModelError(
+                "route_array_take: gather reads pieces addressed to another "
+                "node (take/owners disagree with the batch destinations)"
+            )
+        abstract_cost = self._routed_batch_cost(batch, phase, expect_max_load)
+        decoded = self._robust_routed(batch, abstract_cost, phase)
+        return np.take(decoded, take, axis=0, out=out)
+
+    def send_array(
+        self,
+        dests,
+        blocks,
+        *,
+        widths=None,
+        tags=None,
+        phase: str = "send",
+        expect_max_pair: int | None = None,
+    ):
+        try:
+            if widths is None:
+                widths = [
+                    block_widths(np.asarray(b, dtype=np.int64), self.word_bits)
+                    for b in blocks
+                ]
+            batch = flatten_array_batch(dests, blocks, widths, tags, self.n)
+        except ValueError as exc:
+            raise CliqueModelError(str(exc)) from exc
+        abstract_cost = self._direct_batch_cost(batch, phase, expect_max_pair)
+        decoded = self._robust_routed(batch, abstract_cost, phase)
+        return deliver_array(replace(batch, blocks=decoded))
+
+    def _deliver_broadcast_rows(
+        self, rows: np.ndarray, width_list: list[int], phase: str
+    ) -> np.ndarray:
+        abstract_cost = self._broadcast_cost(width_list, phase)
+        return self._robust_broadcast(
+            rows,
+            np.arange(self.n, dtype=np.int64),
+            np.asarray(width_list, dtype=np.int64),
+            abstract_cost,
+            phase,
+        )
+
+    def _broadcast_held(
+        self,
+        held: list[np.ndarray],
+        bcast_widths: list[int],
+        phase: str,
+    ) -> np.ndarray:
+        abstract_cost = self._broadcast_cost(bcast_widths, phase)
+        counts = [int(h.shape[0]) for h in held]
+        owners = np.repeat(np.arange(self.n, dtype=np.int64), counts)
+        # allgather_rows charges a uniform per-record width per holder, so
+        # the per-piece width is the holder total split evenly.
+        per_piece = [
+            np.full(cnt, bcast_widths[v] // cnt, dtype=np.int64)
+            for v, cnt in enumerate(counts)
+            if cnt
+        ]
+        piece_widths = (
+            np.concatenate(per_piece) if per_piece else np.zeros(0, dtype=np.int64)
+        )
+        return self._robust_broadcast(
+            np.concatenate(held, axis=0), owners, piece_widths, abstract_cost, phase
+        )
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def overhead_factor(self) -> float:
+        """Actual rounds divided by the abstract (fault-free) rounds."""
+        base = self.abstract_meter.rounds
+        return float(self.meter.rounds) / base if base else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RobustClique(n={self.n}, tolerance={self.tolerance}, "
+            f"copies={self.copies}, rounds={self.meter.rounds}, "
+            f"abstract_rounds={self.abstract_meter.rounds})"
+        )
+
+
+__all__ = ["MirroredMeter", "RobustClique"]

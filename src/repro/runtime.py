@@ -21,6 +21,7 @@ without holding a session.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -84,6 +85,40 @@ def resolve_rng(
     if seed is None:
         return _SHARED_RNG
     return np.random.default_rng(seed)
+
+
+def snapshot_shared_rng() -> dict[str, Any]:
+    """Capture the shared stream's state for later replay.
+
+    Returns a deep copy of the bit-generator state, so the snapshot stays
+    valid however far the stream advances afterwards.  Pair with
+    :func:`restore_shared_rng` to replay a randomised run (fault-plan sweeps,
+    colour-coding trial batches) from a logged point without re-running
+    everything that came before it.
+    """
+    return copy.deepcopy(_SHARED_RNG.bit_generator.state)
+
+
+def restore_shared_rng(state: dict[str, Any]) -> None:
+    """Rewind the shared stream to a :func:`snapshot_shared_rng` capture.
+
+    The generator object itself is preserved (callers that already hold a
+    reference via ``resolve_rng(seed=None)`` see the rewound stream), only
+    its state is replaced.
+    """
+    _SHARED_RNG.bit_generator.state = copy.deepcopy(state)
+
+
+def reseed_shared_rng(seed: int) -> dict[str, Any]:
+    """Reset the shared stream to a fresh ``default_rng(seed)`` state.
+
+    Returns the state that was replaced (a :func:`snapshot_shared_rng`-style
+    capture), so callers can reseed for a reproducible sub-experiment and
+    then hand the stream back untouched.
+    """
+    previous = snapshot_shared_rng()
+    _SHARED_RNG.bit_generator.state = np.random.default_rng(seed).bit_generator.state
+    return previous
 
 
 def pad_matrix(matrix: np.ndarray, size: int, fill: int = 0) -> np.ndarray:
@@ -169,6 +204,9 @@ __all__ = [
     "make_executor",
     "pad_matrix",
     "resolve_rng",
+    "snapshot_shared_rng",
+    "restore_shared_rng",
+    "reseed_shared_rng",
     "integer_product",
     "boolean_product",
     "or_broadcast",

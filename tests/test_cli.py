@@ -146,3 +146,71 @@ class TestCommands:
         )
         assert result.returncode == 0
         assert "girth=" in result.stdout
+
+
+class TestFaultFlags:
+    """PR 6 satellite: --faults / --fault-seed / --fault-kind wiring."""
+
+    def test_defaults_off(self):
+        args = build_parser().parse_args(["apsp", "16"])
+        assert args.faults == 0
+        assert args.fault_seed == 0
+        assert args.fault_kind == "flip"
+
+    def test_flags_parsed_on_all_three_commands(self):
+        for command in ("matmul", "apsp", "mst"):
+            args = build_parser().parse_args(
+                [command, "16", "--faults", "2", "--fault-seed", "9",
+                 "--fault-kind", "drop"]
+            )
+            assert args.faults == 2
+            assert args.fault_seed == 9
+            assert args.fault_kind == "drop"
+
+    def test_negative_budget_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["apsp", "16", "--faults", "-1"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_unknown_kind_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["apsp", "16", "--fault-kind", "emp"])
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("kind", ["flip", "drop", "crash"])
+    def test_robust_apsp_runs_and_reports_overhead(self, kind, capsys):
+        assert main(["apsp", "16", "--faults", "1", "--fault-kind", kind]) == 0
+        out = capsys.readouterr().out
+        assert f"faults: kind={kind} t=1" in out
+        assert "overhead" in out
+
+    def test_robust_matmul_runs(self, capsys):
+        assert main(["matmul", "16", "--faults", "1", "--fault-seed", "3"]) == 0
+        assert "encoded rounds" in capsys.readouterr().out
+
+    def test_robust_mst_runs(self, capsys):
+        assert main(["mst", "14", "--faults", "1", "--fault-kind", "crash"]) == 0
+        assert "faults: kind=crash" in capsys.readouterr().out
+
+    def test_fault_free_commands_print_no_fault_summary(self, capsys):
+        assert main(["apsp", "16"]) == 0
+        assert "faults:" not in capsys.readouterr().out
+
+    def test_under_provisioned_tolerance_exits_2(self, capsys):
+        # 5 corrupt relays against a deliberately 1-tolerant code: decodes
+        # lose their majority, retries exhaust, and the CLI maps
+        # FaultToleranceExceeded to a dedicated non-zero exit code.
+        code = main(
+            ["apsp", "16", "--faults", "5", "--fault-tolerance", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "fault tolerance exceeded" in captured.err
+        assert "support threshold" in captured.err
+
+    def test_matching_tolerance_always_survives(self, capsys):
+        # The headline guarantee at the CLI surface: a code sized to the
+        # adversary budget decodes every exchange, any seed, any kind.
+        assert main(["apsp", "16", "--faults", "2", "--fault-seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "exact match with Floyd-Warshall oracle: True" in out

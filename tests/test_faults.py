@@ -1,0 +1,560 @@
+"""Fault injection + encoded-exchange robustness suite (PR 6).
+
+Pins the three invariants of :mod:`repro.faults`:
+
+1. **Pure interception**: with no plan installed (or ``t = 0``) the
+   :class:`~repro.faults.FaultyClique` wrapper is bit-identical to the base
+   model -- values, rounds, and per-phase meters.
+2. **Silent corruption exists without the code**: an unprotected faulty
+   clique really does deliver wrong words (the failure mode the robust
+   layer closes), and a corrupted ``route_array_take`` still never writes
+   outside its planned caller-buffer slice (arena no-escape).
+3. **No silent wrong answers, ever**: under any in-budget plan a robust
+   run equals the fault-free oracle edge-for-edge; beyond budget it equals
+   the oracle or raises :class:`~repro.errors.FaultToleranceExceeded` --
+   a seed sweep across all three fault kinds demonstrates zero silent
+   corruptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra.semirings import MIN_PLUS
+from repro.clique.model import CongestedClique
+from repro.clique.scheduling import disjoint_relays
+from repro.engine.session import EngineSession, make_clique
+from repro.errors import CliqueModelError, FaultToleranceExceeded
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultyClique,
+    RobustClique,
+    corrupt_pieces,
+    flip_masks,
+    majority_decode,
+)
+from repro.graphs import apsp_reference, random_weighted_digraph
+from repro.runtime import pad_matrix
+
+ALL_KINDS = ["flip", "drop", "crash"]
+
+
+# --------------------------------------------------------------------- #
+# Fault plans
+# --------------------------------------------------------------------- #
+
+
+class TestFaultPlan:
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan(t=-1)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            FaultPlan(t=1, kind="gamma-ray")
+
+    def test_rejects_bad_crash_window(self):
+        with pytest.raises(ValueError, match="crash window"):
+            FaultPlan(t=1, kind="crash", crash_window=0)
+
+    def test_string_kind_coerced(self):
+        assert FaultPlan(t=1, kind="drop").kind is FaultKind.DROP
+
+    def test_corrupt_nodes_deterministic(self):
+        plan = FaultPlan(t=2, seed=5)
+        a = plan.corrupt_nodes(16, exchange_id=3)
+        b = FaultPlan(t=2, seed=5).corrupt_nodes(16, exchange_id=3)
+        assert np.array_equal(a, b)
+
+    def test_corrupt_nodes_redrawn_per_exchange(self):
+        plan = FaultPlan(t=3, seed=0)
+        sets = [tuple(plan.corrupt_nodes(32, e)) for e in range(8)]
+        assert len(set(sets)) > 1, "a mobile adversary must move"
+
+    def test_budget_respected(self):
+        plan = FaultPlan(t=2, seed=1)
+        for e in range(10):
+            nodes = plan.corrupt_nodes(16, e)
+            assert nodes.size <= 2
+            assert np.all((0 <= nodes) & (nodes < 16))
+            assert np.unique(nodes).size == nodes.size
+
+    def test_zero_budget_is_null_plan(self):
+        assert FaultPlan(t=0).corrupt_nodes(16, 0).size == 0
+
+    def test_crash_sets_are_monotone(self):
+        plan = FaultPlan(t=3, seed=2, kind="crash", crash_window=6)
+        previous: set[int] = set()
+        for e in range(12):
+            nodes = set(int(v) for v in plan.corrupt_nodes(16, e))
+            assert previous <= nodes, "a crashed node never comes back"
+            previous = nodes
+        assert previous, "every crash time lies inside the window"
+        assert len(previous) <= 3
+
+
+class TestFlipMasks:
+    def test_nonzero_and_pairwise_distinct(self):
+        masks = flip_masks(np.arange(1024))
+        assert np.all(masks != 0)
+        assert np.unique(masks).size == masks.size
+
+
+class TestDisjointRelays:
+    def test_copies_are_pairwise_distinct_relays(self):
+        relays = disjoint_relays(50, 5, 16, salt=3)
+        assert relays.shape == (50, 5)
+        assert np.all((0 <= relays) & (relays < 16))
+        for row in relays:
+            assert np.unique(row).size == 5
+
+    def test_pure_function_of_inputs(self):
+        assert np.array_equal(
+            disjoint_relays(9, 3, 8, salt=1), disjoint_relays(9, 3, 8, salt=1)
+        )
+
+    def test_salt_varies_assignment(self):
+        a = disjoint_relays(40, 3, 16, salt=0)
+        b = disjoint_relays(40, 3, 16, salt=1)
+        assert not np.array_equal(a, b), "retries must re-route"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="copies"):
+            disjoint_relays(4, 5, 4)
+        with pytest.raises(ValueError, match="copies"):
+            disjoint_relays(4, 0, 4)
+        with pytest.raises(ValueError, match="n >= 1"):
+            disjoint_relays(4, 1, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            disjoint_relays(-1, 1, 4)
+
+
+# --------------------------------------------------------------------- #
+# corrupt_pieces
+# --------------------------------------------------------------------- #
+
+
+class TestCorruptPieces:
+    def _blocks(self, p=12, w=5, seed=0):
+        return np.random.default_rng(seed).integers(
+            -99, 99, (p, w), dtype=np.int64
+        )
+
+    def test_null_plan_returns_input_uncopied(self):
+        blocks = self._blocks()
+        out, hit, dropped = corrupt_pieces(FaultPlan(t=0), 0, 8, blocks)
+        assert out is blocks
+        assert not hit.any() and not dropped.any()
+
+    def test_flip_hits_match_relay_assignment(self):
+        blocks = self._blocks()
+        plan = FaultPlan(t=2, seed=3, kind="flip")
+        out, hit, dropped = corrupt_pieces(plan, 7, 8, blocks)
+        relays = disjoint_relays(12, 1, 8, salt=7).reshape(-1)
+        corrupt = set(int(v) for v in plan.corrupt_nodes(8, 7))
+        assert np.array_equal(hit, np.array([r in corrupt for r in relays]))
+        assert not dropped.any()
+        # Flips are XOR masks: corrupted words differ, clean words match.
+        assert np.array_equal(out[~hit], blocks[~hit])
+        assert np.all(out[hit] != blocks[hit])
+        # Input is never mutated in place.
+        assert np.array_equal(blocks, self._blocks())
+
+    def test_drop_marks_known_erasures(self):
+        blocks = self._blocks()
+        out, hit, dropped = corrupt_pieces(
+            FaultPlan(t=3, seed=1, kind="drop"), 0, 8, blocks
+        )
+        assert np.array_equal(hit, dropped)
+        assert hit.any()
+        assert not out[hit].any(), "dropped pieces are zeroed"
+
+    def test_self_addressed_pieces_skip_transit(self):
+        blocks = self._blocks()
+        skip = np.ones(blocks.shape[0], dtype=bool)
+        out, hit, _ = corrupt_pieces(
+            FaultPlan(t=8, seed=0), 0, 8, blocks, skip=skip
+        )
+        assert out is blocks and not hit.any()
+
+    def test_replication_degree_must_divide(self):
+        with pytest.raises(ValueError, match="multiple"):
+            corrupt_pieces(FaultPlan(t=1), 0, 8, self._blocks(p=10), copies=3)
+
+
+# --------------------------------------------------------------------- #
+# Majority decode
+# --------------------------------------------------------------------- #
+
+
+class TestMajorityDecode:
+    def test_clean_unanimity_decodes(self):
+        pieces = np.arange(12, dtype=np.int64).reshape(4, 3)
+        copies = np.repeat(pieces[:, None, :], 3, axis=1)
+        decoded, ok = majority_decode(copies, np.ones((4, 3), bool), 2)
+        assert np.array_equal(decoded, pieces)
+        assert ok.all()
+
+    def test_minority_corruption_outvoted(self):
+        truth = np.full((2, 4), 7, dtype=np.int64)
+        copies = np.repeat(truth[:, None, :], 3, axis=1)
+        copies[0, 1] = -1  # one corrupt copy of piece 0
+        decoded, ok = majority_decode(copies, np.ones((2, 3), bool), 2)
+        assert np.array_equal(decoded, truth)
+        assert ok.all()
+
+    def test_erasures_neither_vote_nor_win(self):
+        truth = np.full((1, 2), 9, dtype=np.int64)
+        copies = np.repeat(truth[:, None, :], 3, axis=1)
+        copies[0, 0] = 0  # dropped copy, zeroed in transit
+        valid = np.array([[False, True, True]])
+        decoded, ok = majority_decode(copies, valid, 2)
+        assert np.array_equal(decoded, truth) and ok.all()
+
+    def test_lost_majority_fails_loudly(self):
+        # 1 valid copy left < threshold 2: detection, not a wrong answer.
+        copies = np.zeros((1, 3, 2), dtype=np.int64)
+        valid = np.array([[True, False, False]])
+        _, ok = majority_decode(copies, valid, 2)
+        assert not ok.any()
+
+    def test_distinct_corruptions_cannot_fake_support(self):
+        # Two corrupt copies with *different* wrong values (the flip-mask
+        # guarantee): the truth keeps its threshold-1 support, nothing else
+        # reaches 2, so the piece fails instead of decoding wrong.
+        copies = np.array([[[5], [17], [23]]], dtype=np.int64)
+        decoded, ok = majority_decode(copies, np.ones((1, 3), bool), 2)
+        assert not ok.any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="stack"):
+            majority_decode(np.zeros(3), np.ones((1, 3), bool), 1)
+        with pytest.raises(ValueError, match="validity"):
+            majority_decode(np.zeros((2, 3, 1)), np.ones((3, 2), bool), 1)
+        with pytest.raises(ValueError, match="threshold"):
+            majority_decode(np.zeros((2, 3, 1)), np.ones((2, 3), bool), 0)
+
+
+# --------------------------------------------------------------------- #
+# FaultyClique: pure interception
+# --------------------------------------------------------------------- #
+
+
+def _run_collectives(clique: CongestedClique, seed: int = 0) -> list[np.ndarray]:
+    """One fixed workload touching every intercepted collective."""
+    n = clique.n
+    rng = np.random.default_rng(seed)
+    results: list[np.ndarray] = []
+
+    rows = rng.integers(-9, 9, (n, 4), dtype=np.int64)
+    results.append(clique.broadcast_rows(rows, phase="t/bcast"))
+
+    dests = [np.arange(n, dtype=np.int64) for _ in range(n)]
+    blocks = [rng.integers(-9, 9, (n, 3), dtype=np.int64) for _ in range(n)]
+    inboxes = clique.route_array(dests, blocks, phase="t/route")
+    results.extend(inbox.blocks for inbox in inboxes)
+
+    flat = clique.route_array(dests, blocks, phase="t/route-flat", flat=True)
+    results.append(flat.blocks)
+
+    take = np.arange(n * n, dtype=np.intp)
+    owners = np.tile(np.arange(n, dtype=np.int64), n)
+    results.append(
+        clique.route_array_take(
+            dests, blocks, take=take, owners=owners, phase="t/take"
+        ).copy()
+    )
+
+    sends = [rng.integers(-9, 9, (n, 2), dtype=np.int64) for _ in range(n)]
+    results.extend(
+        inbox.blocks
+        for inbox in clique.send_array(dests, sends, phase="t/send")
+    )
+
+    held = [rng.integers(-9, 9, (2, 3), dtype=np.int64) for _ in range(n)]
+    results.append(clique.allgather_rows(held, phase="t/gather"))
+
+    grid = rng.integers(-9, 9, (n, n, 2), dtype=np.int64)
+    results.append(clique.scatter_blocks(grid, phase="t/scatter"))
+    return results
+
+
+class TestFaultyCliquePureInterception:
+    @pytest.mark.parametrize("plan", [None, FaultPlan(t=0, seed=3)])
+    def test_no_plan_bit_identical(self, plan):
+        base = CongestedClique(6)
+        faulty = FaultyClique(6, plan=plan)
+        for a, b in zip(_run_collectives(base), _run_collectives(faulty)):
+            assert np.array_equal(a, b)
+        assert base.meter.phases == faulty.meter.phases
+        assert faulty.faults_injected == 0
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_charge_path_untouched_by_corruption(self, kind):
+        """The adversary corrupts contents, never the bill."""
+        base = CongestedClique(6)
+        faulty = FaultyClique(6, plan=FaultPlan(t=2, seed=1, kind=kind))
+        _run_collectives(base)
+        _run_collectives(faulty)
+        assert base.meter.phases == faulty.meter.phases
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_silent_corruption_demonstrated(self, kind):
+        """Without the code, corrupt relays silently change deliveries."""
+        base = CongestedClique(6)
+        faulty = FaultyClique(6, plan=FaultPlan(t=2, seed=1, kind=kind))
+        clean = _run_collectives(base)
+        tampered = _run_collectives(faulty)
+        assert faulty.faults_injected > 0
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(clean, tampered)
+        ), "an unprotected exchange must actually corrupt"
+
+    def test_tuple_primitives_not_intercepted(self):
+        """The tuple paths stay exact -- interception covers array collectives."""
+        faulty = FaultyClique(5, plan=FaultPlan(t=5, seed=0))
+        received = faulty.broadcast(list(range(5)), phase="t/tuple")
+        assert received[0] == list(range(5))
+        assert faulty.faults_injected == 0
+
+
+class TestArenaNoEscapeUnderFaults:
+    """Satellite: a corrupted ``route_array_take`` must never write outside
+    its planned caller-buffer slice (the arena aliasing rule holds under
+    interception, not just on the clean path)."""
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize(
+        "clique_factory",
+        [
+            lambda plan: FaultyClique(6, plan=plan),
+            lambda plan: RobustClique(6, plan=plan, tolerance=1),
+        ],
+        ids=["faulty", "robust"],
+    )
+    def test_corrupted_take_stays_inside_planned_slice(
+        self, kind, clique_factory
+    ):
+        n = 6
+        clique = clique_factory(FaultPlan(t=2, seed=4, kind=kind))
+        rng = np.random.default_rng(2)
+        dests = [np.arange(n, dtype=np.int64) for _ in range(n)]
+        blocks = [rng.integers(-9, 9, (n, 3), dtype=np.int64) for _ in range(n)]
+        take = np.arange(n * n, dtype=np.intp)
+        pad = 7
+        sentinel = np.int64(-123456789)
+        backing = np.full((n * n + 2 * pad, 3), sentinel, dtype=np.int64)
+        out = backing[pad : pad + n * n]
+        clique.route_array_take(dests, blocks, take=take, out=out, phase="t")
+        assert np.all(backing[:pad] == sentinel), "wrote before the slice"
+        assert np.all(backing[pad + n * n :] == sentinel), "wrote after the slice"
+
+    def test_faulty_take_still_validates_before_charging(self):
+        clique = FaultyClique(4, plan=FaultPlan(t=1, seed=0))
+        rng = np.random.default_rng(0)
+        dests = [np.arange(4, dtype=np.int64) for _ in range(4)]
+        blocks = [rng.integers(-9, 9, (4, 2), dtype=np.int64) for _ in range(4)]
+        with pytest.raises(CliqueModelError, match="out of range"):
+            clique.route_array_take(
+                dests, blocks, take=np.array([99], dtype=np.intp)
+            )
+        assert clique.rounds == 0, "rejected delivery must not charge"
+
+
+# --------------------------------------------------------------------- #
+# RobustClique: encoded exchanges
+# --------------------------------------------------------------------- #
+
+
+class TestRobustCliqueConstruction:
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            RobustClique(8, tolerance=0)
+
+    def test_replication_needs_enough_relays(self):
+        with pytest.raises(CliqueModelError, match="pairwise-distinct relays"):
+            RobustClique(4, tolerance=2)  # 2*2+1 = 5 > 4 nodes
+
+    def test_retry_budget_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="retry budget"):
+            RobustClique(8, tolerance=1, max_retries=-1)
+
+    def test_make_clique_wiring(self):
+        plain = make_clique(8, "naive")
+        assert type(plain) is CongestedClique
+        faulty = make_clique(8, "naive", fault_plan=FaultPlan(t=1))
+        assert type(faulty) is FaultyClique
+        robust = make_clique(8, "naive", fault_tolerance=2)
+        assert isinstance(robust, RobustClique)
+        assert robust.copies == 5 and robust.plan is None
+
+
+class TestRobustCollectivesInBudget:
+    """Every encoded collective decodes the exact fault-free contents
+    under an in-budget adversary of every kind."""
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_collectives_decode_exactly(self, kind, seed):
+        base = CongestedClique(6)
+        robust = RobustClique(
+            6, plan=FaultPlan(t=1, seed=seed, kind=kind), tolerance=1
+        )
+        for a, b in zip(_run_collectives(base), _run_collectives(robust)):
+            assert np.array_equal(a, b)
+
+    def test_abstract_meter_equals_fault_free_bill(self):
+        """Meter separation: the abstract meter is phase-for-phase the
+        fault-free oracle's meter; the actual meter bills the redundancy."""
+        base = CongestedClique(6)
+        robust = RobustClique(6, plan=FaultPlan(t=1, seed=0), tolerance=1)
+        _run_collectives(base)
+        _run_collectives(robust)
+        assert robust.abstract_meter.phases == base.meter.phases
+        assert robust.meter.rounds > robust.abstract_meter.rounds
+        assert robust.overhead_factor > 1.0
+
+    def test_no_plan_still_bills_redundancy(self):
+        base = CongestedClique(6)
+        robust = RobustClique(6, tolerance=1)
+        for a, b in zip(_run_collectives(base), _run_collectives(robust)):
+            assert np.array_equal(a, b)
+        assert robust.abstract_meter.phases == base.meter.phases
+        assert robust.meter.rounds > base.meter.rounds
+
+    def test_take_validation_precedes_charges_on_both_meters(self):
+        robust = RobustClique(6, tolerance=1)
+        rng = np.random.default_rng(0)
+        dests = [np.arange(6, dtype=np.int64) for _ in range(6)]
+        blocks = [rng.integers(-9, 9, (6, 2), dtype=np.int64) for _ in range(6)]
+        with pytest.raises(CliqueModelError, match="addressed to another"):
+            robust.route_array_take(
+                dests,
+                blocks,
+                take=np.arange(36, dtype=np.intp),
+                owners=np.zeros(36, dtype=np.int64),
+            )
+        assert robust.meter.rounds == 0
+        assert robust.abstract_meter.rounds == 0
+
+
+class TestDetectRetryDegrade:
+    def test_beyond_budget_retry_succeeds_through_fresh_relays(self):
+        # Deterministic anchor: t=2 > tolerance 1, seed 0 needs exactly one
+        # re-ship before every piece regains its majority.
+        rng = np.random.default_rng(7)
+        rows = rng.integers(-50, 50, (10, 6), dtype=np.int64)
+        clique = RobustClique(
+            10,
+            plan=FaultPlan(t=2, seed=0, kind="flip"),
+            tolerance=1,
+            max_retries=3,
+        )
+        out = clique.broadcast_rows(rows.copy())
+        assert np.array_equal(out, rows)
+        assert clique.retries == 1
+        assert clique.decode_failures == 0
+
+    def test_exhausted_retries_degrade_loudly(self):
+        rng = np.random.default_rng(7)
+        rows = rng.integers(-50, 50, (10, 6), dtype=np.int64)
+        clique = RobustClique(
+            10,
+            plan=FaultPlan(t=3, seed=0, kind="flip"),
+            tolerance=1,
+            max_retries=0,
+        )
+        with pytest.raises(FaultToleranceExceeded, match="support threshold"):
+            clique.broadcast_rows(rows.copy())
+        assert clique.decode_failures == 1
+
+    def test_error_names_phase_and_budget(self):
+        rng = np.random.default_rng(7)
+        rows = rng.integers(-50, 50, (10, 6), dtype=np.int64)
+        clique = RobustClique(
+            10,
+            plan=FaultPlan(t=3, seed=0, kind="flip"),
+            tolerance=1,
+            max_retries=0,
+        )
+        with pytest.raises(FaultToleranceExceeded) as excinfo:
+            clique.broadcast_rows(rows.copy(), phase="mst/labels")
+        message = str(excinfo.value)
+        assert "mst/labels" in message
+        assert "t=3" in message and "flip" in message
+
+
+# --------------------------------------------------------------------- #
+# End to end: no silent wrong answers, ever
+# --------------------------------------------------------------------- #
+
+
+def _minplus_closure(clique: CongestedClique, weights: np.ndarray, n: int):
+    session = EngineSession(clique, "semiring", MIN_PLUS)
+    padded = pad_matrix(weights, clique.n, fill=MIN_PLUS.zero_value)
+    np.fill_diagonal(padded, 0)
+    return session.closure(padded)[:n, :n]
+
+
+class TestRobustClosureProperty:
+    N = 16
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        graph = random_weighted_digraph(self.N, 0.35, 9, seed=0)
+        weights = graph.weight_matrix()
+        oracle = apsp_reference(graph)
+        return weights, oracle
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_in_budget_closure_equals_oracle(self, workload, kind, seed):
+        weights, oracle = workload
+        clique = make_clique(
+            self.N,
+            "semiring",
+            fault_plan=FaultPlan(t=1, seed=seed, kind=kind),
+            fault_tolerance=1,
+        )
+        assert np.array_equal(_minplus_closure(clique, weights, self.N), oracle)
+        assert clique.faults_injected > 0, "the adversary must have fired"
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_beyond_budget_never_silently_corrupts(self, workload, kind):
+        """The headline seed-sweep: an adversary over budget (t=3 against
+        tolerance 1, no retries) either loses anyway -- the answer equals
+        the oracle bit-for-bit -- or the run raises.  Wrong answers: zero."""
+        weights, oracle = workload
+        raised = 0
+        for seed in range(6):
+            clique = make_clique(
+                self.N,
+                "semiring",
+                fault_plan=FaultPlan(t=3, seed=seed, kind=kind),
+                fault_tolerance=1,
+            )
+            clique.max_retries = 0
+            try:
+                result = _minplus_closure(clique, weights, self.N)
+            except FaultToleranceExceeded:
+                raised += 1
+            else:
+                assert np.array_equal(result, oracle), (
+                    f"SILENT CORRUPTION at seed={seed} kind={kind}"
+                )
+        if kind == "flip":
+            assert raised > 0, "the sweep should exercise the degrade arm"
+
+    def test_fault_free_workloads_unchanged(self, workload):
+        """Equivalence re-run: the interception seams leave the plain
+        model's values, rounds, and meters bit-identical."""
+        weights, oracle = workload
+        plain = make_clique(self.N, "semiring")
+        assert type(plain) is CongestedClique
+        result = _minplus_closure(plain, weights, self.N)
+        assert np.array_equal(result, oracle)
+        twin = make_clique(self.N, "semiring")
+        _minplus_closure(twin, weights, self.N)
+        assert plain.meter.phases == twin.meter.phases

@@ -116,3 +116,64 @@ class TestValidateOutboxes:
     def test_malformed_item(self):
         with pytest.raises(ValueError):
             validate_outboxes([[(1, "x")], []], n=2)  # type: ignore[list-item]
+
+
+class TestPayloadHygiene:
+    """PR 6 satellite: malformed payloads die loudly, naming the node."""
+
+    def test_nan_payload_names_node(self):
+        with pytest.raises(ValueError, match="node 1: non-finite payload"):
+            validate_outboxes([[], [(0, float("nan"), 1)]], n=2)
+
+    def test_inf_payload_rejected(self):
+        with pytest.raises(ValueError, match="node 0"):
+            validate_outboxes([[(1, float("inf"), 1)], []], n=2)
+
+    def test_object_dtype_array_names_node(self):
+        bad = np.array([object(), object()], dtype=object)
+        with pytest.raises(ValueError, match="node 1: object-dtype payload"):
+            validate_outboxes([[], [(0, bad, 2)]], n=2)
+
+    def test_nan_array_entries_name_node(self):
+        bad = np.array([1.0, float("nan")])
+        with pytest.raises(ValueError, match="node 0: non-finite entries"):
+            validate_outboxes([[(1, bad, 2)], []], n=2)
+
+    def test_finite_float_arrays_pass(self):
+        validate_outboxes([[(1, np.array([1.5, -2.0]), 2)], []], n=2)
+
+    def test_negative_width_names_node(self):
+        with pytest.raises(ValueError, match="node 1: non-positive word count"):
+            validate_outboxes([[], [(0, "x", -3)]], n=2)
+
+
+class TestBlockWidths:
+    """PR 6 satellite: batch width helpers reject unchargeable batches."""
+
+    def test_object_dtype_batch_rejected(self):
+        from repro.clique.messages import block_widths
+
+        bad = np.empty((2, 2), dtype=object)
+        bad.fill("x")
+        with pytest.raises(ValueError, match="object-dtype batch"):
+            block_widths(bad, 16)
+
+    def test_nan_batch_names_offending_piece(self):
+        from repro.clique.messages import block_widths
+
+        blocks = np.ones((3, 2))
+        blocks[2, 1] = float("nan")
+        with pytest.raises(ValueError, match="piece 2"):
+            block_widths(blocks, 16)
+
+    def test_flat_batch_rejected(self):
+        from repro.clique.messages import block_widths
+
+        with pytest.raises(ValueError, match="batch"):
+            block_widths(np.arange(4), 16)
+
+    def test_empty_trailing_shape_is_free(self):
+        from repro.clique.messages import block_widths
+
+        widths = block_widths(np.zeros((3, 0), dtype=np.int64), 16)
+        assert np.array_equal(widths, np.zeros(3, dtype=np.int64))

@@ -139,3 +139,61 @@ class TestResolveRng:
         a = first.integers(0, 2**30, 32)
         b = second.integers(0, 2**30, 32)
         assert not np.array_equal(a, b)
+
+
+class TestSharedRngSnapshot:
+    """PR 6 satellite: snapshot/restore/reseed of the shared stream."""
+
+    def test_restore_replays_exactly(self):
+        from repro.runtime import restore_shared_rng, snapshot_shared_rng
+
+        shared = resolve_rng(seed=None)
+        state = snapshot_shared_rng()
+        first = shared.integers(0, 1 << 30, 16)
+        restore_shared_rng(state)
+        replay = shared.integers(0, 1 << 30, 16)
+        assert np.array_equal(first, replay)
+
+    def test_snapshot_is_a_deep_copy(self):
+        from repro.runtime import restore_shared_rng, snapshot_shared_rng
+
+        shared = resolve_rng(seed=None)
+        state = snapshot_shared_rng()
+        draw = shared.integers(0, 1 << 30, 8)
+        # Advancing the stream must not invalidate the earlier capture.
+        restore_shared_rng(state)
+        assert np.array_equal(draw, shared.integers(0, 1 << 30, 8))
+
+    def test_restore_preserves_generator_identity(self):
+        from repro.runtime import restore_shared_rng, snapshot_shared_rng
+
+        shared = resolve_rng(seed=None)
+        restore_shared_rng(snapshot_shared_rng())
+        assert resolve_rng(seed=None) is shared
+
+    def test_reseed_returns_previous_state(self):
+        from repro.runtime import reseed_shared_rng, restore_shared_rng
+
+        shared = resolve_rng(seed=None)
+        previous = reseed_shared_rng(1234)
+        seeded = shared.integers(0, 1 << 30, 8)
+        assert np.array_equal(
+            seeded, np.random.default_rng(1234).integers(0, 1 << 30, 8)
+        )
+        # Handing back the returned state resumes the old stream.
+        restore_shared_rng(previous)
+        resumed_a = shared.integers(0, 1 << 30, 8)
+        restore_shared_rng(previous)
+        resumed_b = shared.integers(0, 1 << 30, 8)
+        assert np.array_equal(resumed_a, resumed_b)
+
+    def test_reseed_is_reproducible(self):
+        from repro.runtime import reseed_shared_rng, restore_shared_rng
+
+        shared = resolve_rng(seed=None)
+        keep = reseed_shared_rng(7)
+        a = shared.integers(0, 1 << 30, 8)
+        reseed_shared_rng(7)
+        b = shared.integers(0, 1 << 30, 8)
+        restore_shared_rng(keep)
+        assert np.array_equal(a, b)

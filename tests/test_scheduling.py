@@ -151,3 +151,44 @@ class TestBroadcastRounds:
                 continue
             schedule = relay_schedule(demand, n)
             assert schedule.rounds >= math.ceil(_max_load(demand, n) / n)
+
+
+class TestDisjointRelays:
+    """PR 6 satellite: relay assignment for replication-coded exchanges."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pieces=st.integers(min_value=0, max_value=200),
+        n=st.integers(min_value=3, max_value=40),
+        salt=st.integers(min_value=0, max_value=1000),
+        data=st.data(),
+    )
+    def test_rows_are_pairwise_distinct_relays(self, pieces, n, salt, data):
+        from repro.clique.scheduling import disjoint_relays
+
+        copies = data.draw(st.integers(min_value=1, max_value=n))
+        relays = disjoint_relays(pieces, copies, n, salt=salt)
+        assert relays.shape == (pieces, copies)
+        assert relays.dtype == np.int64
+        if pieces:
+            assert int(relays.min()) >= 0 and int(relays.max()) < n
+            # Each piece's copy set must be c *distinct* relays, else a
+            # single corrupt node could own two votes on the same piece.
+            sorted_rows = np.sort(relays, axis=1)
+            assert np.all(sorted_rows[:, 1:] != sorted_rows[:, :-1])
+
+    def test_deterministic_in_inputs(self):
+        from repro.clique.scheduling import disjoint_relays
+
+        assert np.array_equal(
+            disjoint_relays(17, 3, 11, salt=5), disjoint_relays(17, 3, 11, salt=5)
+        )
+
+    def test_load_is_balanced(self):
+        from repro.clique.scheduling import disjoint_relays
+
+        # n pieces, 1 copy: the stride walk must not pile onto few relays.
+        n = 16
+        relays = disjoint_relays(n, 1, n).reshape(-1)
+        counts = np.bincount(relays, minlength=n)
+        assert counts.max() <= 2
