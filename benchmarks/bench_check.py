@@ -16,7 +16,12 @@ below ``(1 - TOLERANCE)`` of the committed one.  Reuse rows
 (``session_reuse_speedup``) are gated with the wider explicit
 :data:`REUSE_TOLERANCE` band -- near-1x ratios on 1-core containers would
 flap under the strict gate -- and noise-level committed ratios are
-*reported* as skipped instead of silently passing.
+*reported* as skipped instead of silently passing.  Threaded/sharded rows
+(those carrying a ``threads`` field) are only compared when *both* the
+baseline and the current run record ``cpus >= 2`` -- on a 1-core container
+they measure scheduling overhead, not a speedup -- and speedup rows that
+also carry a deterministic ``rounds`` bill additionally gate it for exact
+equality.
 
 ``--gate-only`` gates just the fixed-size sections (``make bench-quick``,
 the CI fast lane); the full quick report is the default (``make
@@ -76,6 +81,7 @@ SECTIONS = (
     "bilinear",
     "boolean_product",
     "kernel2",
+    "kernel3",
     "spanning",
     "faults",
     "sessions",
@@ -120,6 +126,22 @@ def _compare_row(
             f"(baseline n={base_row.get('n')}, quick n={cur_row.get('n')})",
             False,
         )
+    # Threaded/sharded speedups only mean anything on a multi-core box,
+    # and only when both runs saw one: on a 1-core container they measure
+    # pure scheduling overhead, and comparing a 1-core baseline against a
+    # multi-core run (or vice versa) compares different experiments.  Such
+    # rows record their core count; refuse the comparison explicitly
+    # rather than silently passing it.
+    if "threads" in base_row or "threads" in cur_row:
+        base_cpus = base_row.get("cpus", 1)
+        cur_cpus = cur_row.get("cpus", 1)
+        if base_cpus < 2 or cur_cpus < 2:
+            return (
+                f"  skip {section}/{key}: threaded row needs multi-core "
+                f"runs on both sides (baseline cpus={base_cpus}, "
+                f"current cpus={cur_cpus})",
+                False,
+            )
     # Band selection keys off the committed ratio's magnitude, not the
     # field name: any near-1x row flaps under the strict band.
     tolerance = TOLERANCE if base_row[field] >= NARROW_BAND_MIN else REUSE_TOLERANCE
@@ -132,12 +154,21 @@ def _compare_row(
         )
     floor = (1.0 - tolerance) * base_row[field]
     failed = cur_row[field] < floor
-    verdict = "REGRESSED" if failed else "ok"
-    return (
-        f"  {verdict:9s} {section}/{key}: {field} {cur_row[field]}x "
-        f"vs committed {base_row[field]}x (floor {floor:.2f}x)",
-        failed,
+    detail = (
+        f"{field} {cur_row[field]}x vs committed {base_row[field]}x "
+        f"(floor {floor:.2f}x)"
     )
+    # Deterministic round bills riding along a speedup row (the engine and
+    # closure rows) are seeded and noise-free: gate them for exact
+    # equality on top of the ratio band -- drift is a behaviour change.
+    if "rounds" in base_row and "rounds" in cur_row:
+        failed = failed or base_row["rounds"] != cur_row["rounds"]
+        detail += (
+            f", rounds {cur_row['rounds']} vs committed "
+            f"{base_row['rounds']} (exact-equality gate)"
+        )
+    verdict = "REGRESSED" if failed else "ok"
+    return (f"  {verdict:9s} {section}/{key}: {detail}", failed)
 
 
 def compare(committed: dict, current: dict) -> tuple[list[str], list[str]]:
@@ -170,8 +201,8 @@ def main(argv: list[str] | None = None) -> int:
         "--gate-only",
         action="store_true",
         help="run only the fixed-size gateable sections (the bench-quick "
-        "lane: kernel_gate/bilinear/boolean_product/kernel2/spanning/"
-        "faults, no heavy end-to-end rows)",
+        "lane: kernel_gate/bilinear/boolean_product/kernel2/kernel3/"
+        "spanning/faults, no heavy end-to-end rows)",
     )
     args = parser.parse_args(argv)
 

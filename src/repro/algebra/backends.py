@@ -1,0 +1,313 @@
+"""Kernel execution backends: how the batched tile kernels spend their CPU.
+
+Kernel generation 3 (see DESIGN.md) separates *what* a kernel computes from
+*where its tiles run*.  The packed witness kernels
+(:meth:`~repro.algebra.semirings._SelectionSemiring._packed_fold`) and the
+bit-packed Boolean kernels already decompose their work into independent
+cache-sized tiles -- disjoint batch/column ranges writing disjoint output
+slices -- so scheduling those tiles is an orthogonal choice:
+
+* :class:`SerialBackend` -- today's behaviour: tiles run in order on the
+  calling thread.
+* :class:`ThreadedBackend` -- tiles fan out over a persistent
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  The tile bodies are
+  NumPy ufunc sweeps on large int64 arrays, which release the GIL, so plain
+  threads scale without multiprocessing's copy/pickle overhead.  While tile
+  threads are in flight any BLAS pool is capped at one thread via
+  ``threadpoolctl`` (when installed) so tile threads and BLAS threads never
+  oversubscribe the machine; without ``threadpoolctl`` the cap is skipped --
+  harmless for the packed kernels, which never call BLAS.
+* ``"numba"`` -- an *optional* compiled variant behind the same registry:
+  resolving it without the ``numba`` package raises a clear
+  :class:`KernelBackendError` (nothing in this repository requires numba;
+  when present, the backend schedules exactly like the threaded one and
+  additionally advertises :attr:`KernelBackend.compiled` so kernels may
+  choose jitted tile bodies).
+
+Backends are deterministic by construction: every tile writes a disjoint
+output slice and no kernel merges across tiles in scheduling order, so
+serial and threaded runs are **bit-identical** (equivalence-tested in
+``tests/test_kernel_gen3.py``).  The scheduling choice can never change
+values, witnesses, or the simulator's round/load charges.
+
+Resolution order for the process default: the ``REPRO_KERNEL_BACKEND``
+environment variable (``serial``, ``threaded``, ``threaded:N``, ``numba``)
+else ``serial``.  Executors pass their backend down per call, so
+``--threads`` on the CLI composes with ``--shards`` (each shard worker runs
+its own tile backend).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from typing import Callable, Sequence
+
+try:  # optional: honest BLAS/tile-thread interplay when available
+    from threadpoolctl import threadpool_limits as _threadpool_limits
+except ImportError:  # pragma: no cover - depends on the environment
+    _threadpool_limits = None
+
+HAVE_THREADPOOLCTL = _threadpool_limits is not None
+
+try:  # optional: compiled tile bodies when available
+    import numba as _numba  # noqa: F401
+except ImportError:  # pragma: no cover - depends on the environment
+    _numba = None
+
+HAVE_NUMBA = _numba is not None
+
+
+class KernelBackendError(ValueError):
+    """An unknown or unavailable kernel backend was requested."""
+
+
+def tile_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Partition ``range(total)`` into ``<= parts`` contiguous tile ranges.
+
+    The ranges are *balanced* (sizes differ by at most one), *gap-free* and
+    *non-overlapping*, and empty ranges are dropped -- so degenerate shapes
+    (``total < parts``, ``total == 0``) yield fewer (or zero) ranges rather
+    than empty ones.  This is the single splitter behind both the sharded
+    executor's node ranges (:func:`repro.clique.executor.shard_ranges`) and
+    the threaded backend's tile ranges; both are property-tested in
+    ``tests/test_kernel_gen3.py``.
+    """
+    if total < 0 or parts < 1:
+        raise ValueError(f"need total >= 0 and parts >= 1, got {total}/{parts}")
+    parts = min(parts, total) or 1
+    bounds = [total * i // parts for i in range(parts + 1)]
+    return [
+        (bounds[i], bounds[i + 1])
+        for i in range(parts)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+class KernelBackend:
+    """Interface: run a batch of independent tile tasks.
+
+    A *task* is a zero-argument callable writing a disjoint slice of a
+    preallocated output; :meth:`run` returns once every task has finished,
+    re-raising the first exception.  ``threads`` is the scheduling width a
+    kernel should split its work for (``1`` means do not bother splitting).
+    """
+
+    name = "abstract"
+    threads = 1
+    #: whether kernels may choose compiled (jitted) tile bodies.
+    compiled = False
+
+    @property
+    def spec(self) -> str:
+        """Picklable registry spec resolving back to an equivalent backend."""
+        return self.name if self.threads == 1 else f"{self.name}:{self.threads}"
+
+    def run(self, tasks: Sequence[Callable[[], None]]) -> None:
+        raise NotImplementedError
+
+    def limit_blas(self):
+        """Context manager capping BLAS pools while tile threads run."""
+        return nullcontext()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(threads={self.threads})"
+
+
+class SerialBackend(KernelBackend):
+    """Tiles run in order on the calling thread (the default)."""
+
+    name = "serial"
+    threads = 1
+
+    def run(self, tasks: Sequence[Callable[[], None]]) -> None:
+        for task in tasks:
+            task()
+
+
+class ThreadedBackend(KernelBackend):
+    """Tiles fan out over a persistent thread pool.
+
+    The pool is created lazily on first use and shared by every kernel call
+    through this backend instance (instances themselves are shared via
+    :func:`get_backend`'s per-thread-count cache, so a session's
+    ``ceil(log n)`` squarings never re-spawn threads).  ``close`` exists for
+    tests; idle pooled threads cost nothing, so process lifetime is fine.
+    """
+
+    name = "threaded"
+
+    def __init__(self, threads: int) -> None:
+        if threads < 1:
+            raise KernelBackendError(f"threads must be >= 1, got {threads}")
+        self.threads = int(threads)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.threads, thread_name_prefix="repro-tile"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def limit_blas(self):
+        if _threadpool_limits is None:
+            return nullcontext()
+        return _threadpool_limits(limits=1)
+
+    def run(self, tasks: Sequence[Callable[[], None]]) -> None:
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.threads <= 1:
+            for task in tasks:
+                task()
+            return
+        # Cap BLAS for the duration: tile threads own the cores.  The tile
+        # bodies themselves are BLAS-free, so this only matters when a
+        # caller overlaps kernels with BLAS work on other threads.
+        with self.limit_blas():
+            pool = self._ensure_pool()
+            futures = [pool.submit(task) for task in tasks]
+            for future in futures:
+                future.result()
+
+
+class NumbaBackend(ThreadedBackend):
+    """Optional compiled-tile variant; requires the ``numba`` package."""
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self, threads: int) -> None:
+        if not HAVE_NUMBA:
+            raise KernelBackendError(
+                "backend 'numba' requires the optional numba package "
+                "(not installed); use 'serial' or 'threaded'"
+            )
+        super().__init__(threads)
+
+
+#: Backend factories by registry name; each takes a thread count.
+_FACTORIES: dict[str, Callable[[int], KernelBackend]] = {
+    "serial": lambda threads: SerialBackend(),
+    "threaded": ThreadedBackend,
+    "numba": NumbaBackend,
+}
+
+#: Shared instances per (name, threads): kernels resolve specs on every
+#: call, so caching keeps thread pools persistent across calls.
+_INSTANCES: dict[tuple[str, int], KernelBackend] = {}
+
+_SERIAL = SerialBackend()
+_INSTANCES[("serial", 1)] = _SERIAL
+
+
+def _default_spec() -> str:
+    return os.environ.get("REPRO_KERNEL_BACKEND", "serial")
+
+
+_default: str = _default_spec()
+
+
+def _reset_pools_after_fork() -> None:
+    """Drop inherited thread pools in forked children.
+
+    A ``ThreadPoolExecutor``'s worker threads do not survive ``fork``: the
+    child inherits the pool object (via the shared ``_INSTANCES`` cache)
+    with its work queue intact but no threads draining it, so the first
+    ``run`` would block forever.  Fork-started shard workers therefore
+    start with a clean slate and lazily build their own pools.
+    """
+    for backend in _INSTANCES.values():
+        if isinstance(backend, ThreadedBackend):
+            backend._pool = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+
+def set_default_backend(spec: "str | int | KernelBackend | None") -> str:
+    """Set the process-default backend spec; returns the previous spec."""
+    global _default
+    previous = _default
+    _default = get_backend(spec).spec
+    return previous
+
+
+def get_default_backend() -> KernelBackend:
+    """The process-default backend (``REPRO_KERNEL_BACKEND`` or serial)."""
+    return get_backend(_default)
+
+
+def get_backend(spec: "str | int | KernelBackend | None" = None) -> KernelBackend:
+    """Resolve a backend spec to a (shared) :class:`KernelBackend`.
+
+    Accepted specs: ``None`` (the process default), a backend instance
+    (returned as-is), an ``int`` thread count (``1`` -> serial, ``N > 1``
+    -> ``threaded:N``), or a registry string ``"serial"``, ``"threaded"``
+    (thread count = ``os.cpu_count()``), ``"threaded:N"``, ``"numba[:N]"``.
+    """
+    if spec is None:
+        spec = _default
+    if isinstance(spec, KernelBackend):
+        return spec
+    if isinstance(spec, int):
+        if spec < 1:
+            raise KernelBackendError(f"thread count must be >= 1, got {spec}")
+        spec = "serial" if spec == 1 else f"threaded:{spec}"
+    name, _, count = str(spec).partition(":")
+    if name not in _FACTORIES:
+        raise KernelBackendError(
+            f"unknown kernel backend {name!r} (known: {sorted(_FACTORIES)})"
+        )
+    if count:
+        try:
+            threads = int(count)
+        except ValueError:
+            raise KernelBackendError(
+                f"bad thread count in backend spec {spec!r}"
+            ) from None
+    else:
+        threads = 1 if name == "serial" else (os.cpu_count() or 1)
+    if threads < 1:
+        raise KernelBackendError(f"thread count must be >= 1, got {threads}")
+    if name == "serial":
+        threads = 1
+    key = (name, threads)
+    backend = _INSTANCES.get(key)
+    if backend is None:
+        backend = _FACTORIES[name](threads)
+        _INSTANCES[key] = backend
+    return backend
+
+
+def backend_info() -> dict:
+    """Environment facts the perf report records next to threaded rows."""
+    return {
+        "cpus": os.cpu_count() or 1,
+        "default_backend": _default,
+        "threadpoolctl": HAVE_THREADPOOLCTL,
+        "numba": HAVE_NUMBA,
+    }
+
+
+__all__ = [
+    "KernelBackend",
+    "KernelBackendError",
+    "SerialBackend",
+    "ThreadedBackend",
+    "NumbaBackend",
+    "get_backend",
+    "get_default_backend",
+    "set_default_backend",
+    "backend_info",
+    "tile_ranges",
+    "HAVE_NUMBA",
+    "HAVE_THREADPOOLCTL",
+]

@@ -39,14 +39,32 @@ for min-plus **and** max-min (``(value << kbits) | tag`` under one tiled
 min/max, shift and tag folded into the operands), and a ``uint64``
 bit-packed Boolean kernel (method of Four Russians) selected by a size
 heuristic over the retained ``float32`` GEMM tile.
+
+Kernel generation 3 adds two orthogonal layers on top:
+
+* every batched kernel accepts a ``backend=`` spec
+  (:mod:`repro.algebra.backends`): the packed witness fold and the packed
+  Boolean kernels split their work into disjoint batch/column tiles and
+  hand them to the backend (serial today, ``threaded:N`` to fan out over a
+  thread pool -- bit-identical either way, since no kernel merges across
+  tiles in scheduling order).  Kernels whose heavy lifting is a BLAS call
+  (the ``float32`` GEMM tile, the plain ring product) accept the keyword
+  and ignore it -- BLAS manages its own threads.
+* a *pre-packed* Boolean entry point
+  (:meth:`BooleanSemiring.packed_words_matmul_batch`) consuming bit-packed
+  operands and returning bit-packed rows, so the engine's persistent
+  packed closure state never round-trips through 0/1 int64 between
+  squarings (see :func:`repro.matmul.semiring3d.boolean_matmul_packed`).
 """
 
 from __future__ import annotations
 
 import os
+from functools import partial
 
 import numpy as np
 
+from repro.algebra.backends import get_backend, tile_ranges
 from repro.constants import INF
 
 #: Default inner-dimension tile width for the blocked kernels.  Each tile
@@ -156,21 +174,27 @@ class Semiring:
         """
         raise NotImplementedError(f"{self.name} has no selection order")
 
-    def matmul_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    def matmul_batch(
+        self, x: np.ndarray, y: np.ndarray, *, backend=None
+    ) -> np.ndarray:
         """Batched block product: ``(B, m, k) x (B, k, n) -> (B, m, n)``.
 
         Semantically ``stack([matmul(x[b], y[b]) for b])`` and guaranteed to
         produce identical values; subclasses override with vectorised kernels
         so the executor layer amortises the per-block Python overhead across
-        a whole engine step.  This generic fallback just loops.
+        a whole engine step.  This generic fallback just loops.  ``backend``
+        (a :mod:`repro.algebra.backends` spec) selects tile scheduling for
+        the kernels that split into tiles; it can never change values.
         """
+        del backend  # the generic loop has no tiles to schedule
         x, y = _check_batch(x, y)
         return np.stack([self.matmul(x[b], y[b]) for b in range(x.shape[0])])
 
     def matmul_batch_with_witness(
-        self, x: np.ndarray, y: np.ndarray
+        self, x: np.ndarray, y: np.ndarray, *, backend=None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched :meth:`matmul_with_witness`; identical values/witnesses."""
+        del backend  # the generic loop has no tiles to schedule
         x, y = _check_batch(x, y)
         pairs = [self.matmul_with_witness(x[b], y[b]) for b in range(x.shape[0])]
         return (
@@ -237,6 +261,51 @@ def _batch_chunk(
     return max(1, min(batch, slab_entries // max(1, per_block_entries)))
 
 
+def packed_words(bits: int) -> int:
+    """``uint64`` words needed to hold ``bits`` bit-packed bits."""
+    if bits < 0:
+        raise ValueError(f"bit count must be >= 0, got {bits}")
+    return -(-bits // 64)
+
+
+def pack_bool_rows(x: np.ndarray) -> np.ndarray:
+    """Bit-pack the trailing axis of an array into ``int64`` words.
+
+    Entries ``> 0`` become 1-bits (matching every Boolean kernel's
+    threshold), packed little-endian -- bit ``j`` of the row lands in bit
+    ``j % 8`` of byte ``j // 8`` -- and zero-padded up to whole ``uint64``
+    words, then reinterpreted as ``int64`` (the simulator's payload dtype;
+    the sign bit is just bit 63 of a word).  The layout is exactly what
+    :meth:`BooleanSemiring.packed_words_matmul_batch` consumes on both
+    operand sides, and what it produces -- packed data composes through
+    products without ever unpacking.  Like the in-kernel packing, the
+    ``uint8`` <-> ``uint64`` view assumes a little-endian host.
+    """
+    x = np.asarray(x)
+    bits = x.shape[-1]
+    pw = packed_words(bits)
+    packed8 = np.packbits(x > 0, axis=-1, bitorder="little")
+    buf = np.zeros(x.shape[:-1] + (pw * 8,), dtype=np.uint8)
+    buf[..., : packed8.shape[-1]] = packed8
+    return buf.view(np.uint64).view(np.int64)
+
+
+def unpack_bool_rows(words: np.ndarray, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_rows`: 0/1 ``int64`` rows of width ``bits``."""
+    words = np.ascontiguousarray(np.asarray(words, dtype=np.int64))
+    if words.shape[-1] != packed_words(bits):
+        raise ValueError(
+            f"packed rows of {words.shape[-1]} words cannot hold {bits} bits"
+        )
+    if bits == 0:
+        return np.zeros(words.shape[:-1] + (0,), dtype=np.int64)
+    nb = -(-bits // 8)
+    u8 = words.view(np.uint64).view(np.uint8)[..., :nb]
+    return np.unpackbits(u8, axis=-1, count=bits, bitorder="little").astype(
+        np.int64
+    )
+
+
 class PlusTimesRing(Semiring):
     """The ordinary integer ring ``(Z, +, *)`` -- a ring, so §2.2 applies."""
 
@@ -247,7 +316,10 @@ class PlusTimesRing(Semiring):
     def matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return x @ y
 
-    def matmul_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    def matmul_batch(
+        self, x: np.ndarray, y: np.ndarray, *, backend=None
+    ) -> np.ndarray:
+        del backend  # one BLAS call; BLAS manages its own threads
         x, y = _check_batch(x, y)
         return np.matmul(x, y)
 
@@ -305,6 +377,13 @@ class BooleanSemiring(Semiring):
     #: cannot amortise at all.
     PACKED_MIN_INNER = 8
 
+    #: Entry budget for one chunk-table slab ``(B_chunk, chunks, 256, nw)``
+    #: of the packed kernel: the batch axis is chunked so the 256-row OR
+    #: tables stay ~8 MB of ``uint64`` however large the batch -- at the
+    #: n=512 engine batch (``512`` blocks of ``64^3``) a single chunk holds
+    #: the whole batch, reproducing the pre-chunking behaviour exactly.
+    _PACKED_TABLE_ENTRIES = 1 << 20
+
     def _use_packed(self, m: int, k: int, n: int) -> bool:
         """The work-based heuristic selecting the bit-packed kernel.
 
@@ -319,7 +398,12 @@ class BooleanSemiring(Semiring):
         )
 
     def matmul(
-        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        tile: int | None = None,
+        backend=None,
     ) -> np.ndarray:
         """Boolean block product; dispatches packed vs GEMM by size.
 
@@ -331,7 +415,7 @@ class BooleanSemiring(Semiring):
         x, y = self._check(x, y)
         if tile is None and self._use_packed(x.shape[0], x.shape[1], y.shape[1]):
             # Batch of one, skipping packed_matmul's re-validation.
-            return self.packed_matmul_batch(x[None], y[None])[0]
+            return self.packed_matmul_batch(x[None], y[None], backend=backend)[0]
         return self.gemm_matmul(x, y, tile=tile)
 
     def gemm_matmul(
@@ -373,45 +457,114 @@ class BooleanSemiring(Semiring):
         x, y = self._check(x, y)
         return self.packed_matmul_batch(x[None], y[None])[0]
 
-    def packed_matmul_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Batched :meth:`packed_matmul`: the chunk tables gain a batch axis."""
+    def packed_matmul_batch(
+        self, x: np.ndarray, y: np.ndarray, *, backend=None
+    ) -> np.ndarray:
+        """Batched :meth:`packed_matmul`: the chunk tables gain a batch axis.
+
+        Packs both operands, runs the pre-packed word kernel
+        (:meth:`packed_words_matmul_batch` -- the single home of the
+        endianness-sensitive table/gather logic), and unpacks the result.
+        """
         x, y = _check_batch(x, y)
         batch, m, k = x.shape
         n = y.shape[2]
         if 0 in (batch, m, k, n):
             return np.zeros((batch, m, n), dtype=np.int64)
-        xb = np.packbits(x > 0, axis=2, bitorder="little")  # (B, m, chunks)
-        yb = np.packbits(y > 0, axis=2, bitorder="little")  # (B, k, nb)
-        chunks = xb.shape[2]
-        nb = yb.shape[2]
-        nw = -(-nb // 8)
-        ypad = np.zeros((batch, chunks * 8, nw * 8), dtype=np.uint8)
-        ypad[:, :k, :nb] = yb
+        xw = pack_bool_rows(x)
+        yw = pack_bool_rows(y)
+        packed = self.packed_words_matmul_batch(xw, yw, k, backend=backend)
+        return unpack_bool_rows(packed, n)
+
+    def packed_words_matmul_batch(
+        self, xw: np.ndarray, yw: np.ndarray, k: int, *, backend=None
+    ) -> np.ndarray:
+        """Four-Russians product on *pre-packed* operands, packed output.
+
+        Args:
+            xw: ``(B, m, xwords)`` ``int64`` -- left rows bit-packed along
+                the inner dimension (``k`` logical bits, little-endian,
+                zero-padded to whole words; :func:`pack_bool_rows` layout).
+            yw: ``(B, k, owords)`` ``int64`` -- right rows bit-packed along
+                the output columns (padding bits zero).
+            k: logical inner dimension (bits of an ``xw`` row / rows of
+                ``yw``).
+
+        Returns the ``(B, m, owords)`` packed product rows, freshly
+        allocated.  Padding bits of the output stay zero (padded ``y`` rows
+        are all-zero, so their OR contribution vanishes), which is what
+        lets the engine's persistent packed closure feed products straight
+        back in as operands.  The batch axis is chunked so the 256-row OR
+        tables stay slab-sized (:data:`_PACKED_TABLE_ENTRIES`) and the
+        chunks are scheduled on ``backend`` -- each chunk writes a disjoint
+        output slice, so scheduling cannot change values.
+        """
+        xw = np.ascontiguousarray(np.asarray(xw, dtype=np.int64))
+        yw = np.ascontiguousarray(np.asarray(yw, dtype=np.int64))
+        if xw.ndim != 3 or yw.ndim != 3 or xw.shape[0] != yw.shape[0]:
+            raise ValueError(
+                f"incompatible packed batch shapes {xw.shape} x {yw.shape}"
+            )
+        batch, m, xwords = xw.shape
+        owords = yw.shape[2]
+        if yw.shape[1] != k:
+            raise ValueError(
+                f"packed right operand has {yw.shape[1]} rows, expected k={k}"
+            )
+        chunks = -(-k // 8)
+        if chunks > xwords * 8:
+            raise ValueError(
+                f"packed left rows of {xwords} words cannot hold k={k} bits"
+            )
+        out = np.zeros((batch, m, owords), dtype=np.int64)
+        if 0 in (batch, m, k, owords):
+            return out
         # The uint8 <-> uint64 views assume a little-endian host (byte j of
         # word w is packed byte 8w+j); the property tests against the cube
         # oracle would fail loudly on a big-endian platform.
-        ywords = ypad.view(np.uint64).reshape(batch, chunks, 8, nw)
-        tables = np.zeros((batch, chunks, 256, nw), dtype=np.uint64)
-        half = 1
-        for t in range(8):
-            np.bitwise_or(
-                tables[:, :, :half],
-                ywords[:, :, t, None, :],
-                out=tables[:, :, half : 2 * half],
+        xb = xw.view(np.uint64).view(np.uint8).reshape(batch, m, xwords * 8)
+        xb = xb[:, :, :chunks]
+        ywu = yw.view(np.uint64)
+
+        def product_range(lo: int, hi: int) -> None:
+            chunk = _batch_chunk(
+                hi - lo, chunks * 256 * owords, self._PACKED_TABLE_ENTRIES
             )
-            half *= 2
-        flat = tables.reshape(batch * chunks * 256, nw)
-        idx = (
-            np.ascontiguousarray(np.moveaxis(xb, 2, 0)).astype(np.intp)
-            + (np.arange(chunks, dtype=np.intp) * 256)[:, None, None]
-            + (np.arange(batch, dtype=np.intp) * chunks * 256)[None, :, None]
-        )
-        rows = np.take(flat, idx, axis=0)  # (chunks, B, m, nw)
-        packed = np.bitwise_or.reduce(rows, axis=0)  # (B, m, nw) uint64
-        packed8 = np.ascontiguousarray(packed).view(np.uint8)[:, :, :nb]
-        return np.unpackbits(packed8, axis=2, count=n, bitorder="little").astype(
-            np.int64
-        )
+            for b0 in range(lo, hi, chunk):
+                bc = min(chunk, hi - b0)
+                ypad = np.zeros((bc, chunks * 8, owords), dtype=np.uint64)
+                ypad[:, :k] = ywu[b0 : b0 + bc]
+                ywords = ypad.reshape(bc, chunks, 8, owords)
+                tables = np.zeros((bc, chunks, 256, owords), dtype=np.uint64)
+                half = 1
+                for t in range(8):
+                    np.bitwise_or(
+                        tables[:, :, :half],
+                        ywords[:, :, t, None, :],
+                        out=tables[:, :, half : 2 * half],
+                    )
+                    half *= 2
+                flat = tables.reshape(bc * chunks * 256, owords)
+                idx = (
+                    np.ascontiguousarray(
+                        np.moveaxis(xb[b0 : b0 + bc], 2, 0)
+                    ).astype(np.intp)
+                    + (np.arange(chunks, dtype=np.intp) * 256)[:, None, None]
+                    + (np.arange(bc, dtype=np.intp) * chunks * 256)[
+                        None, :, None
+                    ]
+                )
+                rows = np.take(flat, idx, axis=0)  # (chunks, bc, m, owords)
+                packed = np.bitwise_or.reduce(rows, axis=0)
+                out[b0 : b0 + bc] = packed.view(np.int64)
+
+        backend = get_backend(backend)
+        if backend.threads > 1 and batch > 1:
+            ranges = tile_ranges(batch, backend.threads)
+        else:
+            ranges = [(0, batch)]
+        backend.run([partial(product_range, lo, hi) for lo, hi in ranges])
+        return out
 
     def cube_matmul(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """The cube-materialising Boolean product (oracle + perf baseline).
@@ -427,7 +580,12 @@ class BooleanSemiring(Semiring):
         return values.any(axis=1).astype(np.int64)
 
     def matmul_batch(
-        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        tile: int | None = None,
+        backend=None,
     ) -> np.ndarray:
         """Batched blocked Boolean product: one BLAS call per inner tile.
 
@@ -437,11 +595,12 @@ class BooleanSemiring(Semiring):
         applies per block: large blocks take the bit-packed kernel, the
         small per-node blocks the engines batch stay on the GEMM tile
         (measured faster there -- BLAS amortises while the 256-row chunk
-        tables do not).
+        tables do not; ``backend`` only schedules the packed kernel's
+        tiles, BLAS threads are BLAS's own business).
         """
         x, y = _check_batch(x, y)
         if tile is None and self._use_packed(x.shape[1], x.shape[2], y.shape[2]):
-            return self.packed_matmul_batch(x, y)
+            return self.packed_matmul_batch(x, y, backend=backend)
         if tile is None:
             tile = self.BOOL_TILE
         elif tile < 1:
@@ -507,7 +666,15 @@ class _SelectionSemiring(Semiring):
     _PACKED_SLAB_ENTRIES = 1 << 16
 
     def _packed_fold(
-        self, xs, ys, fill, reduce_fn, merge_fn, *, tile: int | None = None
+        self,
+        xs,
+        ys,
+        fill,
+        reduce_fn,
+        merge_fn,
+        *,
+        tile: int | None = None,
+        backend=None,
     ) -> np.ndarray:
         """The shared tiled fold of the packed witness kernels.
 
@@ -518,31 +685,81 @@ class _SelectionSemiring(Semiring):
         axis is chunked so slab + best stay cache-resident
         (:data:`_PACKED_SLAB_ENTRIES`).  Returns the ``(B, m, n)`` packed
         best, still carrying the witness tag bits.
+
+        Two orthogonal splits keep every slab cache-sized and schedulable:
+
+        * **two-level tiling**: when a *single* block's ``(m, tile, n)``
+          slab overflows the slab budget (huge blocks, batch chunking alone
+          cannot help), the output-column axis is tiled as well, so the
+          inner fold runs per column stripe with a budget-sized slab.
+        * **backend scheduling**: the (batch-range x column-stripe) cells
+          are independent -- each folds the full inner dimension for a
+          disjoint ``out`` slice -- so they are handed to ``backend``
+          (:mod:`repro.algebra.backends`) as tiles.  The fold's merge order
+          along ``k`` is unchanged in every cell, and ``min``/``max`` over
+          packed (value, tag) lanes is order-independent anyway, so serial
+          and threaded schedules are bit-identical (down to witness
+          tie-breaks; pinned in ``tests/test_kernel_gen3.py``).
         """
         batch, m, k = xs.shape
         n = ys.shape[2]
         tile = self._PACKED_TILE if tile is None else _resolve_tile(tile)
         out = np.empty((batch, m, n), dtype=np.int64)
-        chunk = _batch_chunk(batch, m * tile * n, self._PACKED_SLAB_ENTRIES)
-        slab = np.empty((chunk, m, min(tile, k), n), dtype=np.int64)
-        for b0 in range(0, batch, chunk):
-            bc = min(chunk, batch - b0)
-            xc = xs[b0 : b0 + bc]
-            yc = ys[b0 : b0 + bc]
-            best: np.ndarray | None = None
-            for k0 in range(0, k, tile):
-                kt = min(tile, k - k0)
-                sl = slab[:bc, :, :kt]
-                fill(
-                    xc[:, :, k0 : k0 + kt, None],
-                    yc[:, None, k0 : k0 + kt, :],
-                    out=sl,
-                )
-                if best is None:
-                    best = reduce_fn(sl, axis=2)
-                else:
-                    merge_fn(best, reduce_fn(sl, axis=2), out=best)
-            out[b0 : b0 + bc] = best
+        backend = get_backend(backend)
+        kt_max = min(tile, k)
+        # Column stripes: only when one block overflows the slab budget.
+        if m * kt_max * n > self._PACKED_SLAB_ENTRIES and n > 1:
+            stripe = max(1, self._PACKED_SLAB_ENTRIES // (m * kt_max))
+            col_ranges = [(c0, min(c0 + stripe, n)) for c0 in range(0, n, stripe)]
+        else:
+            col_ranges = [(0, n)]
+        # Batch ranges: one per backend thread (serial keeps one range).
+        if backend.threads > 1 and batch > 1:
+            batch_ranges = tile_ranges(batch, backend.threads)
+        else:
+            batch_ranges = [(0, batch)]
+        if (
+            backend.threads > 1
+            and len(batch_ranges) == 1
+            and len(col_ranges) == 1
+            and n >= 2 * backend.threads
+        ):
+            # A single huge block below the stripe threshold: thread over
+            # columns anyway so backend width is not wasted.
+            col_ranges = tile_ranges(n, backend.threads)
+
+        def fold_cell(b_lo: int, b_hi: int, c_lo: int, c_hi: int) -> None:
+            width = c_hi - c_lo
+            chunk = _batch_chunk(
+                b_hi - b_lo, m * kt_max * width, self._PACKED_SLAB_ENTRIES
+            )
+            slab = np.empty((chunk, m, kt_max, width), dtype=np.int64)
+            ycols = ys[:, :, c_lo:c_hi]
+            for b0 in range(b_lo, b_hi, chunk):
+                bc = min(chunk, b_hi - b0)
+                xc = xs[b0 : b0 + bc]
+                yc = ycols[b0 : b0 + bc]
+                best: np.ndarray | None = None
+                for k0 in range(0, k, tile):
+                    kt = min(tile, k - k0)
+                    sl = slab[:bc, :, :kt]
+                    fill(
+                        xc[:, :, k0 : k0 + kt, None],
+                        yc[:, None, k0 : k0 + kt, :],
+                        out=sl,
+                    )
+                    if best is None:
+                        best = reduce_fn(sl, axis=2)
+                    else:
+                        merge_fn(best, reduce_fn(sl, axis=2), out=best)
+                out[b0 : b0 + bc, :, c_lo:c_hi] = best
+        backend.run(
+            [
+                partial(fold_cell, b_lo, b_hi, c_lo, c_hi)
+                for b_lo, b_hi in batch_ranges
+                for c_lo, c_hi in col_ranges
+            ]
+        )
         return out
 
     # -- subclass hooks -------------------------------------------------- #
@@ -609,15 +826,23 @@ class _SelectionSemiring(Semiring):
         return best, witness
 
     def matmul_batch(
-        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        tile: int | None = None,
+        backend=None,
     ) -> np.ndarray:
         """Batched tiled kernel: the per-block tile loop lifted over ``B``.
 
         Per batch lane this performs exactly the reductions and strict
         merges of :meth:`matmul` in the same order, so values are
         bit-identical to the per-block kernel; the batch axis is chunked to
-        keep slab temporaries bounded.
+        keep slab temporaries bounded.  (``backend`` is accepted for
+        interface uniformity; only the packed witness fold has backend
+        tiles.)
         """
+        del backend
         x, y = _check_batch(x, y)
         tile = _resolve_tile(tile)
         batch, m, k = x.shape
@@ -645,9 +870,10 @@ class _SelectionSemiring(Semiring):
         return out
 
     def matmul_batch_with_witness(
-        self, x: np.ndarray, y: np.ndarray
+        self, x: np.ndarray, y: np.ndarray, *, backend=None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched witness product; subclasses dispatch to packed kernels."""
+        del backend  # the generic walk has no backend tiles
         return self._generic_walk_batch_with_witness(x, y)
 
     def _generic_walk_batch_with_witness(
@@ -790,8 +1016,14 @@ class MinPlusSemiring(_SelectionSemiring):
         return product[0], witness[0]
 
     def matmul_batch(
-        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        tile: int | None = None,
+        backend=None,
     ) -> np.ndarray:
+        del backend  # the penalty-encoded fold has no backend tiles
         x, y = _check_batch(x, y)
         tile = _resolve_tile(tile)
         batch, m, k = x.shape
@@ -858,7 +1090,12 @@ class MinPlusSemiring(_SelectionSemiring):
         return xs, ys, kbits, penalty, finite_bound
 
     def matmul_batch_with_witness(
-        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        tile: int | None = None,
+        backend=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         x, y = _check_batch(x, y)
         if tile is not None:
@@ -881,7 +1118,9 @@ class MinPlusSemiring(_SelectionSemiring):
         xs <<= kbits
         ys <<= kbits
         ys += np.arange(k, dtype=np.int64)[None, :, None]
-        out = self._packed_fold(xs, ys, np.add, np.min, np.minimum, tile=tile)
+        out = self._packed_fold(
+            xs, ys, np.add, np.min, np.minimum, tile=tile, backend=backend
+        )
         witness = out & ((1 << kbits) - 1)
         out >>= kbits
         # Encoded sums carry a 2*offset shift; restore it, then restore INF
@@ -1003,7 +1242,12 @@ class MaxMinSemiring(_SelectionSemiring):
         return product[0], witness[0]
 
     def matmul_batch_with_witness(
-        self, x: np.ndarray, y: np.ndarray, *, tile: int | None = None
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        tile: int | None = None,
+        backend=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Packed max-min witness kernel: one tiled max over tagged encodes.
 
@@ -1032,7 +1276,9 @@ class MaxMinSemiring(_SelectionSemiring):
         xs += tags[None, None, :]
         ys <<= kbits
         ys += tags[None, :, None]
-        out = self._packed_fold(xs, ys, np.minimum, np.max, np.maximum, tile=tile)
+        out = self._packed_fold(
+            xs, ys, np.minimum, np.max, np.maximum, tile=tile, backend=backend
+        )
         witness = (k - 1) - (out & ((1 << kbits) - 1))
         out >>= kbits
         # Decode the monotone encoding: 0 is -INF, penalty is +INF,
@@ -1130,4 +1376,7 @@ __all__ = [
     "get_block_tile",
     "set_block_tile",
     "DEFAULT_BLOCK_TILE",
+    "packed_words",
+    "pack_bool_rows",
+    "unpack_bool_rows",
 ]

@@ -36,17 +36,24 @@ def _cmd_table1(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
 def _make_clique(parser: argparse.ArgumentParser, args: argparse.Namespace, n: int):
     """Build the (possibly sharded, possibly robust) clique, or die with usage.
 
-    Centralises the ``--engine`` / ``--shards`` wiring: the clique is sized
-    for the chosen engine and carries the serial or sharded local-compute
-    executor the engine sessions run on.  ``--faults T`` additionally
-    installs a seeded adversary corrupting up to ``T`` relay nodes per
-    exchange *and* the replication-coded robust collectives sized to
-    survive it -- the run then either matches the fault-free oracle
-    exactly or dies with ``FaultToleranceExceeded``, never silently wrong.
+    Centralises the ``--engine`` / ``--shards`` / ``--threads`` wiring: the
+    clique is sized for the chosen engine and carries the serial or sharded
+    local-compute executor (and its kernel tile backend) the engine
+    sessions run on.  ``--faults T`` additionally installs a seeded
+    adversary corrupting up to ``T`` relay nodes per exchange *and* the
+    replication-coded robust collectives sized to survive it -- the run
+    then either matches the fault-free oracle exactly or dies with
+    ``FaultToleranceExceeded``, never silently wrong.
+
+    Every clique built here is recorded on ``args`` so :func:`main` can
+    close its executor (sharded worker pools, shared-memory segments)
+    deterministically -- including on the error exits
+    (``FaultToleranceExceeded``, failed verifications).
     """
     from repro.runtime import make_clique
 
     shards = getattr(args, "shards", 1)
+    threads = getattr(args, "threads", 1)
     fault_plan = None
     fault_tolerance = None
     if getattr(args, "faults", 0):
@@ -57,15 +64,18 @@ def _make_clique(parser: argparse.ArgumentParser, args: argparse.Namespace, n: i
         )
         fault_tolerance = args.fault_tolerance or args.faults
     try:
-        return make_clique(
+        clique = make_clique(
             n,
             args.engine,
             shards=shards,
+            threads=threads,
             fault_plan=fault_plan,
             fault_tolerance=fault_tolerance,
         )
     except ValueError as exc:
         parser.error(str(exc))
+    getattr(args, "_cliques", []).append(clique)
+    return clique
 
 
 def _print_fault_summary(args: argparse.Namespace, clique) -> None:
@@ -316,6 +326,19 @@ def _shards_type(value: str) -> int:
     return shards
 
 
+def _threads_type(value: str) -> int:
+    """Argparse type for ``--threads``: a positive kernel-tile thread count."""
+    try:
+        threads = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid thread count {value!r}")
+    if threads < 1:
+        raise argparse.ArgumentTypeError(
+            f"--threads must be >= 1, got {threads}"
+        )
+    return threads
+
+
 def _phases_type(value: str) -> int:
     """Argparse type for ``mst --phases``: a non-negative phase count."""
     try:
@@ -391,12 +414,15 @@ def _add_engine_flags(
     *,
     default: str | None = "bilinear",
 ) -> None:
-    """The shared ``--engine`` / ``--shards`` pair, wired to engine sessions.
+    """The shared ``--engine`` / ``--shards`` / ``--threads`` trio.
 
     ``--shards N`` runs the simulator's local block products on ``N`` worker
-    processes (shared-memory sharded executor); answers and round charges
-    are identical to the serial default, only wall clock changes.  ``N``
-    must not exceed the clique size (each shard owns a node range).
+    processes (shared-memory sharded executor); ``--threads T`` runs each
+    worker's kernel tiles on a ``T``-thread tile backend (kernel generation
+    3), so the two compose to up to ``N x T`` busy cores.  Answers and
+    round charges are identical to the serial default, only wall clock
+    changes.  ``N`` must not exceed the clique size (each shard owns a
+    node range).
     """
     p.add_argument(
         "--engine",
@@ -412,6 +438,14 @@ def _add_engine_flags(
         help="local-compute worker processes, 1 <= N <= clique size "
         "(default: serial; the naive engine's single block product "
         "has nothing to shard)",
+    )
+    p.add_argument(
+        "--threads",
+        type=_threads_type,
+        default=1,
+        metavar="T",
+        help="kernel-tile threads per worker (default: serial tiles; "
+        "composes with --shards, so keep N*T within the machine)",
     )
 
 
@@ -500,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    args._cliques = []
     from repro.errors import FaultToleranceExceeded
 
     try:
@@ -509,6 +544,12 @@ def main(argv: list[str] | None = None) -> int:
         # encoded budget stops the run loudly -- never a silent wrong answer.
         print(f"fault tolerance exceeded: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Close every executor the run built (sharded worker pools and
+        # their shared-memory segments) even on the error exits, so no
+        # command can leak a pool past its own lifetime.
+        for clique in args._cliques:
+            clique.executor.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -56,6 +56,15 @@ class ExchangeArena:
             self._buffers[key] = buf
         return buf
 
+    def release(self) -> None:
+        """Drop every held buffer (the arena stays usable).
+
+        Engine sessions call this from their context-manager exit so a
+        closed session frees its tens of megabytes deterministically
+        instead of waiting for the arena to be garbage-collected.
+        """
+        self._buffers.clear()
+
     def __len__(self) -> int:
         return len(self._buffers)
 

@@ -27,6 +27,17 @@ Workers resolve semirings and rings from their registry *names*
 :func:`repro.matmul.ringops.get_ring`), so every process computes with the
 same singletons regardless of start method (``fork`` where available,
 ``spawn`` otherwise).
+
+Kernel generation 3 adds the orthogonal *tile backend* axis
+(:mod:`repro.algebra.backends`): an executor carries a backend spec
+(``serial`` or ``threaded:N``) and passes it into every batched kernel
+call, so ``--shards`` (processes over node ranges) composes with
+``--threads`` (threads over kernel tiles) -- shard worker tasks ship the
+spec by name, exactly like semirings.  Scheduling can never change values,
+so all shard x thread combinations stay bit-identical (equivalence-tested
+in ``tests/test_kernel_gen3.py``).  Executors also expose the pre-packed
+Boolean product (:meth:`LocalExecutor.boolean_packed_products`) behind the
+same serial/sharded split, for the engine's persistent packed closures.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.algebra.backends import KernelBackend, get_backend, tile_ranges
 from repro.algebra.semirings import Semiring, get_semiring
 
 if TYPE_CHECKING:  # deferred at runtime: repro.matmul imports this package
@@ -55,6 +67,19 @@ class LocalExecutor:
 
     name = "abstract"
     shards = 1
+    #: kernel tile backend spec (``None`` = the process default); resolved
+    #: per call so ``set_default_backend`` applies to shared executors.
+    _backend_spec: "str | KernelBackend | None" = None
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The resolved kernel tile backend this executor computes with."""
+        return get_backend(self._backend_spec)
+
+    @property
+    def threads(self) -> int:
+        """Kernel tile threads per worker (1 = serial tiles)."""
+        return self.backend.threads
 
     def semiring_products(
         self,
@@ -73,6 +98,19 @@ class LocalExecutor:
         """Stacked ring block products (trailing ring axes supported)."""
         raise NotImplementedError
 
+    def boolean_packed_products(
+        self, lefts: np.ndarray, rights: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Batched *pre-packed* Boolean block products (packed in/out).
+
+        ``lefts``/``rights`` are bit-packed word stacks in the
+        :func:`~repro.algebra.semirings.pack_bool_rows` layout with logical
+        inner dimension ``k``; the result is the freshly-allocated packed
+        product stack.  Bit-identical across executors, like every other
+        product.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release worker resources (no-op for in-process executors)."""
 
@@ -87,10 +125,18 @@ class LocalExecutor:
 
 
 class SerialExecutor(LocalExecutor):
-    """In-process backend: one batched kernel call, no worker processes."""
+    """In-process backend: one batched kernel call, no worker processes.
+
+    ``backend`` selects the kernel tile scheduling for that one call
+    (``None``: the process default, usually serial tiles; ``"threaded:N"``
+    or an int thread count: fan tiles out over a thread pool).
+    """
 
     name = "serial"
     shards = 1
+
+    def __init__(self, backend: "str | int | KernelBackend | None" = None) -> None:
+        self._backend_spec = None if backend is None else get_backend(backend)
 
     def semiring_products(
         self,
@@ -101,13 +147,24 @@ class SerialExecutor(LocalExecutor):
         with_witnesses: bool = False,
     ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         if with_witnesses:
-            return semiring.matmul_batch_with_witness(lefts, rights)
-        return semiring.matmul_batch(lefts, rights)
+            return semiring.matmul_batch_with_witness(
+                lefts, rights, backend=self.backend
+            )
+        return semiring.matmul_batch(lefts, rights, backend=self.backend)
 
     def ring_products(
         self, ring: RingOps, lefts: np.ndarray, rights: np.ndarray
     ) -> np.ndarray:
         return ring.matmul_batch(lefts, rights)
+
+    def boolean_packed_products(
+        self, lefts: np.ndarray, rights: np.ndarray, k: int
+    ) -> np.ndarray:
+        from repro.algebra.semirings import BOOLEAN
+
+        return BOOLEAN.packed_words_matmul_batch(
+            lefts, rights, k, backend=self.backend
+        )
 
 
 #: Process-wide default executor (what a bare ``CongestedClique`` uses).
@@ -115,16 +172,16 @@ SERIAL_EXECUTOR = SerialExecutor()
 
 
 def shard_ranges(batch: int, shards: int) -> list[tuple[int, int]]:
-    """Partition ``range(batch)`` into ``<= shards`` contiguous node ranges."""
+    """Partition ``range(batch)`` into ``<= shards`` contiguous node ranges.
+
+    A thin rename of :func:`repro.algebra.backends.tile_ranges` -- the node
+    ranges of the sharded executor and the tile ranges of the threaded
+    kernel backend are the same balanced, gap-free, non-overlapping split
+    (property-tested together in ``tests/test_kernel_gen3.py``).
+    """
     if batch < 0 or shards < 1:
         raise ValueError(f"need batch >= 0 and shards >= 1, got {batch}/{shards}")
-    shards = min(shards, batch) or 1
-    bounds = [batch * i // shards for i in range(shards + 1)]
-    return [
-        (bounds[i], bounds[i + 1])
-        for i in range(shards)
-        if bounds[i + 1] > bounds[i]
-    ]
+    return tile_ranges(batch, shards)
 
 
 def _attach(name: str, shape: tuple[int, ...]):
@@ -140,6 +197,7 @@ def _semiring_shard(task) -> None:
     (
         semiring_name,
         with_witnesses,
+        backend_spec,
         names,
         left_shape,
         right_shape,
@@ -148,6 +206,9 @@ def _semiring_shard(task) -> None:
         hi,
     ) = task
     semiring = get_semiring(semiring_name)
+    # Backends resolve by spec, like semirings by name: each worker process
+    # keeps its own (cached) tile pool, so shards x threads composes.
+    backend = get_backend(backend_spec)
     handles = []
     try:
         shm_l, lefts = _attach(names[0], left_shape)
@@ -159,11 +220,37 @@ def _semiring_shard(task) -> None:
         if with_witnesses:
             shm_w, wit = _attach(names[3], out_shape)
             handles.append(shm_w)
-            p, w = semiring.matmul_batch_with_witness(lefts[lo:hi], rights[lo:hi])
+            p, w = semiring.matmul_batch_with_witness(
+                lefts[lo:hi], rights[lo:hi], backend=backend
+            )
             out[lo:hi] = p
             wit[lo:hi] = w
         else:
-            out[lo:hi] = semiring.matmul_batch(lefts[lo:hi], rights[lo:hi])
+            out[lo:hi] = semiring.matmul_batch(
+                lefts[lo:hi], rights[lo:hi], backend=backend
+            )
+    finally:
+        for shm in handles:
+            shm.close()
+
+
+def _boolean_packed_shard(task) -> None:
+    """Worker: compute one node range of a pre-packed Boolean product."""
+    from repro.algebra.semirings import BOOLEAN
+
+    backend_spec, k, names, left_shape, right_shape, out_shape, lo, hi = task
+    backend = get_backend(backend_spec)
+    handles = []
+    try:
+        shm_l, lefts = _attach(names[0], left_shape)
+        handles.append(shm_l)
+        shm_r, rights = _attach(names[1], right_shape)
+        handles.append(shm_r)
+        shm_o, out = _attach(names[2], out_shape)
+        handles.append(shm_o)
+        out[lo:hi] = BOOLEAN.packed_words_matmul_batch(
+            lefts[lo:hi], rights[lo:hi], k, backend=backend
+        )
     finally:
         for shm in handles:
             shm.close()
@@ -203,6 +290,10 @@ class ShardedExecutor(LocalExecutor):
         start_method: multiprocessing start method; defaults to ``fork``
             where the platform offers it (cheap, inherits the loaded
             NumPy), ``spawn`` otherwise.
+        backend: kernel tile backend spec for the *workers* (each shard
+            runs its kernels through this backend, so ``--shards N
+            --threads T`` uses up to ``N x T`` cores -- the caller is
+            responsible for not oversubscribing the machine).
 
     The worker pool is created lazily on first use and persists across
     calls -- an :class:`~repro.engine.EngineSession` therefore pays the
@@ -213,10 +304,17 @@ class ShardedExecutor(LocalExecutor):
 
     name = "sharded"
 
-    def __init__(self, shards: int, *, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        shards: int,
+        *,
+        start_method: str | None = None,
+        backend: "str | int | KernelBackend | None" = None,
+    ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = int(shards)
+        self._backend_spec = None if backend is None else get_backend(backend)
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -278,8 +376,9 @@ class ShardedExecutor(LocalExecutor):
         batch = lefts.shape[0]
         out_shape = (batch, lefts.shape[1], rights.shape[2])
         if batch < 2 or self.shards < 2 or 0 in out_shape or lefts.size == 0:
-            # Nothing to fan out; the batched kernel is already one call.
-            return SERIAL_EXECUTOR.semiring_products(
+            # Nothing to fan out; the batched kernel is already one call
+            # (still on this executor's tile backend).
+            return SerialExecutor(self._backend_spec).semiring_products(
                 semiring, lefts, rights, with_witnesses=with_witnesses
             )
         segments: list[shared_memory.SharedMemory] = []
@@ -296,6 +395,7 @@ class ShardedExecutor(LocalExecutor):
                 (
                     semiring.name,
                     with_witnesses,
+                    self.backend.spec,
                     names,
                     l_shape,
                     r_shape,
@@ -308,6 +408,40 @@ class ShardedExecutor(LocalExecutor):
             self._ensure_pool().map(_semiring_shard, tasks, chunksize=1)
             if with_witnesses:
                 return out.copy(), wit.copy()
+            return out.copy()
+        finally:
+            self._release(segments)
+
+    def boolean_packed_products(
+        self, lefts: np.ndarray, rights: np.ndarray, k: int
+    ) -> np.ndarray:
+        lefts = np.ascontiguousarray(np.asarray(lefts, dtype=np.int64))
+        rights = np.ascontiguousarray(np.asarray(rights, dtype=np.int64))
+        batch = lefts.shape[0]
+        out_shape = (batch, lefts.shape[1], rights.shape[2])
+        if batch < 2 or self.shards < 2 or 0 in out_shape or k == 0:
+            return SerialExecutor(self._backend_spec).boolean_packed_products(
+                lefts, rights, k
+            )
+        segments: list[shared_memory.SharedMemory] = []
+        try:
+            l_name, l_shape = self._share(lefts, segments)
+            r_name, r_shape = self._share(rights, segments)
+            o_name, out = self._alloc(out_shape, segments)
+            tasks = [
+                (
+                    self.backend.spec,
+                    k,
+                    [l_name, r_name, o_name],
+                    l_shape,
+                    r_shape,
+                    out_shape,
+                    lo,
+                    hi,
+                )
+                for lo, hi in shard_ranges(batch, self.shards)
+            ]
+            self._ensure_pool().map(_boolean_packed_shard, tasks, chunksize=1)
             return out.copy()
         finally:
             self._release(segments)
@@ -341,13 +475,25 @@ class ShardedExecutor(LocalExecutor):
             self._release(segments)
 
 
-def make_executor(shards: int = 1) -> LocalExecutor:
-    """The executor for a shard count: serial for 1, sharded above."""
+def make_executor(shards: int = 1, threads: int = 1) -> LocalExecutor:
+    """The executor for a shard x thread setting.
+
+    ``shards`` picks serial (1) vs sharded (>1) *process* fan-out over node
+    ranges; ``threads`` picks the kernel *tile* backend each worker computes
+    with (1 = serial tiles, ``T > 1`` = ``threaded:T``).  The two compose:
+    shard workers each run their own tile pool.  Values, rounds and meters
+    are bit-identical across every combination.
+    """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    backend = "serial" if threads == 1 else f"threaded:{threads}"
     if shards == 1:
-        return SERIAL_EXECUTOR
-    return ShardedExecutor(shards)
+        # The process-wide singleton keeps its dynamic default backend;
+        # explicit thread counts get a dedicated serial executor.
+        return SERIAL_EXECUTOR if threads == 1 else SerialExecutor(backend)
+    return ShardedExecutor(shards, backend=backend)
 
 
 __all__ = [

@@ -47,7 +47,13 @@ from repro.matmul.bilinear_clique import (
 from repro.matmul.layout import next_cube, next_square
 from repro.matmul.naive import broadcast_matmul
 from repro.matmul.ringops import RingOps
-from repro.matmul.semiring3d import cube_plan, semiring_matmul
+from repro.matmul.semiring3d import (
+    boolean_matmul_packed,
+    cube_plan,
+    pack_bool_matrix,
+    semiring_matmul,
+    unpack_bool_matrix,
+)
 
 #: The three matmul engines sessions (and applications) can run on.
 MATMUL_METHODS = ("bilinear", "semiring", "naive")
@@ -80,14 +86,18 @@ def make_clique(
     mode: ScheduleMode = ScheduleMode.FAST,
     word_bits: int | None = None,
     shards: int = 1,
+    threads: int = 1,
     fault_plan=None,
     fault_tolerance: int | None = None,
 ) -> CongestedClique:
     """A clique sized for an ``n``-node problem under ``method``.
 
     ``shards > 1`` attaches a sharded local-compute executor
-    (:class:`~repro.clique.executor.ShardedExecutor`); round charges are
-    unaffected, only the simulator's wall clock.
+    (:class:`~repro.clique.executor.ShardedExecutor`); ``threads > 1``
+    additionally runs each executor's kernel tiles on a threaded tile
+    backend (:mod:`repro.algebra.backends`), composing with shards (each
+    shard worker runs its own tile pool).  Neither affects round charges,
+    only the simulator's wall clock.
 
     ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) installs a seeded
     adversary over the array collectives; ``fault_tolerance`` additionally
@@ -113,17 +123,20 @@ def make_clique(
                 tolerance=fault_tolerance,
                 mode=mode,
                 word_bits=word_bits,
-                executor=make_executor(shards),
+                executor=make_executor(shards, threads),
             )
         return FaultyClique(
             size,
             plan=fault_plan,
             mode=mode,
             word_bits=word_bits,
-            executor=make_executor(shards),
+            executor=make_executor(shards, threads),
         )
     return CongestedClique(
-        size, mode=mode, word_bits=word_bits, executor=make_executor(shards)
+        size,
+        mode=mode,
+        word_bits=word_bits,
+        executor=make_executor(shards, threads),
     )
 
 
@@ -139,6 +152,18 @@ class EngineSession:
             raw bilinear ring products.
         algorithm: bilinear algorithm override (default: deepest Strassen
             power fitting the clique); ignored by the other engines.
+        packed_closure: keep Boolean closures on the §2.1 engine in uint64
+            bit-packed form *across* squarings (kernel generation 3),
+            unpacking once at the end.  Values, rounds, and meters are
+            bit-identical to the unpacked loop (the packed payloads charge
+            the same constant per-piece widths); disable only to measure
+            the per-product packing baseline.
+
+    Sessions are context managers: ``with open_session(...) as session``
+    deterministically closes the executor (sharded worker pools and their
+    shared-memory segments) and releases the arena's buffers on exit --
+    including on error paths such as
+    :class:`~repro.faults.FaultToleranceExceeded`.
     """
 
     def __init__(
@@ -148,6 +173,7 @@ class EngineSession:
         algebra: Semiring | RingOps = PLUS_TIMES,
         *,
         algorithm: BilinearAlgorithm | None = None,
+        packed_closure: bool = True,
     ) -> None:
         if method not in MATMUL_METHODS:
             raise ValueError(
@@ -156,6 +182,7 @@ class EngineSession:
         self.clique = clique
         self.method = method
         self.algebra = algebra
+        self.packed_closure = bool(packed_closure)
         self.algorithm: BilinearAlgorithm | None = None
         self._boolean_via_ring = False
         self._ring: RingOps | None = None
@@ -224,6 +251,26 @@ class EngineSession:
             f"EngineSession(n={self.n}, method={self.method!r}, "
             f"algebra={algebra!r}, executor={self.executor.name})"
         )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release session resources deterministically.
+
+        Terminates the executor's worker pool and unlinks its shared-memory
+        segments (a no-op for the serial executor) and drops the arena's
+        buffers.  Idempotent; the clique and its meter stay readable.
+        """
+        self.clique.executor.close()
+        self.arena.release()
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Products
@@ -405,6 +452,21 @@ class EngineSession:
         base = np.asarray(matrix, dtype=np.int64)
         accum = base
         steps = default_steps(self.n) if steps is None else steps
+        if (
+            self.packed_closure
+            and steps > 0
+            and self.method == "semiring"
+            and semiring is BOOLEAN
+            and not with_witnesses
+            and on_step is None
+        ):
+            return self._closure_packed(
+                base,
+                steps=steps,
+                absorb=absorb,
+                phase=phase,
+                step_label=step_label,
+            )
         for step in range(steps):
             step_phase = f"{phase}/{step_label}{step}"
             if with_witnesses:
@@ -427,6 +489,48 @@ class EngineSession:
                     accum = replaced
         return accum
 
+    def _closure_packed(
+        self,
+        base: np.ndarray,
+        *,
+        steps: int,
+        absorb: str,
+        phase: str,
+        step_label: str,
+    ) -> np.ndarray:
+        """Boolean closure kept bit-packed across squarings (§2.1 engine).
+
+        The seed is packed once, every squaring runs the fully-packed
+        pipeline (:func:`~repro.matmul.semiring3d.boolean_matmul_packed`),
+        the per-step absorb is a word-parallel OR, and the accumulator is
+        unpacked exactly once at the end.  Bit-identical to the unpacked
+        loop: ``BOOLEAN.add`` thresholds its operands, so OR-ing packed
+        0/1 data commutes with packing, and the packed pipeline charges the
+        unpacked path's exact phase costs.  Dispatched from
+        :meth:`closure`; the per-product baseline is reachable with
+        ``packed_closure=False``.
+        """
+        n = self.n
+        base_p = pack_bool_matrix(base, n)
+        accum_p = base_p
+        for step in range(steps):
+            squared = boolean_matmul_packed(
+                self.clique,
+                accum_p,
+                accum_p,
+                phase=f"{phase}/{step_label}{step}",
+                arena=self.arena,
+            )
+            # absorb: B <- B^2 OR B ("accum") or B^2 OR A ("matrix");
+            # `squared` is freshly allocated, never an arena buffer.
+            np.bitwise_or(
+                squared,
+                accum_p if absorb == "accum" else base_p,
+                out=squared,
+            )
+            accum_p = squared
+        return unpack_bool_matrix(accum_p, n)
+
 
 def open_session(
     n: int,
@@ -436,8 +540,10 @@ def open_session(
     clique: CongestedClique | None = None,
     algorithm: BilinearAlgorithm | None = None,
     shards: int = 1,
+    threads: int = 1,
     mode: ScheduleMode = ScheduleMode.FAST,
     word_bits: int | None = None,
+    packed_closure: bool = True,
 ) -> EngineSession:
     """Build a session (and its clique/executor) for an ``n``-node problem.
 
@@ -449,17 +555,33 @@ def open_session(
         shards: local-compute worker processes; ``1`` keeps the serial
             executor.  Must satisfy ``1 <= shards <= clique size``
             (a shard owns a non-empty node range).
+        threads: kernel-tile threads per executor (``1`` keeps serial
+            tiles); composes with ``shards``.
+        packed_closure: see :class:`EngineSession`.
     """
     if clique is None:
         clique = make_clique(
-            n, method, mode=mode, word_bits=word_bits, shards=shards
+            n,
+            method,
+            mode=mode,
+            word_bits=word_bits,
+            shards=shards,
+            threads=threads,
         )
     elif shards != 1 and shards != clique.executor.shards:
         raise ValueError(
             "pass shards= only when the session builds the clique "
             "(the given clique already has an executor)"
         )
-    return EngineSession(clique, method, algebra, algorithm=algorithm)
+    elif threads != 1 and threads != clique.executor.threads:
+        raise ValueError(
+            "pass threads= only when the session builds the clique "
+            "(the given clique already has an executor)"
+        )
+    return EngineSession(
+        clique, method, algebra, algorithm=algorithm,
+        packed_closure=packed_closure,
+    )
 
 
 __all__ = [

@@ -51,7 +51,13 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.algebra.semirings import PLUS_TIMES, Semiring
+from repro.algebra.semirings import (
+    PLUS_TIMES,
+    Semiring,
+    pack_bool_rows,
+    packed_words,
+    unpack_bool_rows,
+)
 from repro.clique.arena import ExchangeArena
 from repro.clique.messages import block_widths, words_for_value
 from repro.clique.model import CongestedClique
@@ -327,4 +333,152 @@ def semiring_matmul(
     return acc
 
 
-__all__ = ["semiring_matmul", "CubePlan", "cube_plan"]
+# --------------------------------------------------------------------------- #
+# Persistent packed Boolean pipeline (kernel generation 3)
+# --------------------------------------------------------------------------- #
+#
+# A Boolean matrix on the cube layout decomposes into n * q pieces of q^2
+# bits each -- node v's row is the q column slices S[v, u2**] -- and *every*
+# payload the §2.1 pipeline ships is such a piece (step 1 ships the operand
+# slices, step 3 ships product-row slices).  Bit-packing each piece
+# independently (little-endian, zero-padded to whole uint64 words, see
+# pack_bool_rows) therefore gives a representation that is **closed under
+# the whole pipeline**: delivered step-1 blocks are exactly the packed
+# operands of the Four-Russians kernel, the kernel's packed output rows are
+# exactly the step-3 pieces, and the step-4 q-way Boolean reduction is a
+# word-parallel bitwise OR.  A closure can stay packed across all
+# ceil(log n) squarings and unpack once at the end.
+#
+# Charges are *bit-identical* to the unpacked path by construction, not by
+# luck: the simulator charges a piece at ``entries x words_for_value(max
+# |entry|)``, and for 0/1 data ``words_for_value`` is 1 word for the 0 and
+# the 1 case alike (both encode in 2 bits), so every q^2-bit piece of the
+# unpacked path bills exactly ``q^2`` words whatever its contents.  The
+# packed path ships pw = ceil(q^2/64) words per piece but passes those same
+# constant widths explicitly -- the meter sees the identical bill,
+# phase-for-phase, while the simulator wall-clock moves 64x fewer payload
+# words (the point of the exercise).  Equivalence (values, rounds, meters)
+# is pinned in tests/test_kernel_gen2.py and test_kernel_gen3.py.
+
+
+def pack_bool_matrix(matrix: np.ndarray, n: int) -> np.ndarray:
+    """Pack an ``n x n`` 0/1 matrix into the cube-piece word layout.
+
+    Returns ``(n, q, pw)`` ``int64``: row ``v``'s ``q`` column slices
+    ``(matrix[v, u2**] > 0)``, each bit-packed to ``pw = ceil(q^2/64)``
+    words.  Thresholding matches the engines' Boolean convention
+    (entries ``> 0`` are edges).
+    """
+    plan = cube_plan(n)
+    q = plan.q
+    matrix = np.asarray(matrix)
+    if matrix.shape != (n, n):
+        raise ValueError(f"matrix must be {n} x {n}, got {matrix.shape}")
+    return pack_bool_rows(matrix.reshape(n, q, q * q))
+
+
+def unpack_bool_matrix(packed: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_matrix`: the 0/1 ``int64`` matrix."""
+    plan = cube_plan(n)
+    q = plan.q
+    if packed.shape != (n, q, packed_words(q * q)):
+        raise ValueError(
+            f"packed matrix must be {(n, q, packed_words(q * q))}, "
+            f"got {packed.shape}"
+        )
+    return unpack_bool_rows(packed, q * q).reshape(n, n)
+
+
+def boolean_matmul_packed(
+    clique: CongestedClique,
+    sp: np.ndarray,
+    tp: np.ndarray,
+    *,
+    phase: str = "semiring3d",
+    arena: ExchangeArena | None = None,
+) -> np.ndarray:
+    """One §2.1 Boolean product on *packed* operands, packed result.
+
+    ``sp``/``tp`` are ``(n, q, pw)`` packed matrices
+    (:func:`pack_bool_matrix`); the result is the freshly-allocated packed
+    product.  The pipeline mirrors :func:`semiring_matmul` exchange for
+    exchange -- same :class:`CubePlan` destinations, delivery gathers and
+    owner vectors (the piece *count* is unchanged, only the trailing width
+    shrinks to ``pw`` words), same phase labels, and explicitly-passed
+    widths reproducing the unpacked path's constant ``q^2``-word charges --
+    so rounds and meters are bit-identical while every shipped/gathered
+    buffer is 64x smaller.
+    """
+    n = clique.n
+    plan = cube_plan(n)
+    q = plan.q
+    q2 = q * q
+    pw = packed_words(q2)
+    sp = np.ascontiguousarray(np.asarray(sp, dtype=np.int64))
+    tp = np.ascontiguousarray(np.asarray(tp, dtype=np.int64))
+    if sp.shape != (n, q, pw) or tp.shape != (n, q, pw):
+        raise ValueError(
+            f"packed operands must be {(n, q, pw)}, got {sp.shape} x {tp.shape}"
+        )
+    if arena is None:
+        arena = ExchangeArena()
+
+    # Step 1: same destination/emission order as the unpacked path; the
+    # pieces buffer just carries pw packed words per piece instead of q^2
+    # entries.
+    pieces = arena.buffer("cube/pieces_packed", (n, 2 * q2, pw))
+    pieces[:, :q2].reshape(n, q, q, pw)[:] = sp[:, :, None, :]
+    pieces[:, q2:].reshape(n, q, q, pw)[:] = tp[:, None, :, :]
+
+    # The unpacked path's honest per-piece width is q^2 entries x
+    # words_for_value(max |entry| in {0, 1}) = q^2 x 1 -- constant for 0/1
+    # data -- so the packed path charges that same constant explicitly.
+    widths = arena.buffer("cube/widths1_packed", (n, 2 * q2))
+    widths[:] = q2
+    st_blocks = clique.route_array_take(
+        plan.dests1,
+        pieces,
+        widths=widths,
+        take=plan.take_st,
+        out=arena.buffer("cube/st_blocks_packed", (2 * n * q2, pw)),
+        owners=plan.owners_st,
+        phase=f"{phase}/step1-distribute",
+        expect_max_load=_LOAD_SLACK * 2 * q2 * q2,
+    )
+
+    # Step 2: the delivered blocks are already the Four-Russians operands
+    # (left rows packed along the inner dimension, right rows packed along
+    # the output columns), so the batched products consume and produce
+    # packed words directly -- no per-product pack/unpack.
+    s_blocks = st_blocks[: n * q2].reshape(n, q2, pw)
+    t_blocks = st_blocks[n * q2 :].reshape(n, q2, pw)
+    products = clique.executor.boolean_packed_products(s_blocks, t_blocks, q2)
+
+    # Step 3: product rows are q^2-bit pieces again; same constant charge.
+    widths3 = arena.buffer("cube/widths3_packed", (n, q2))
+    widths3[:] = q2
+    flat_recombined = clique.route_array_take(
+        plan.dests3,
+        products,
+        widths=widths3,
+        take=plan.take3,
+        out=arena.buffer("cube/recomb_packed", (n * q2, pw)),
+        owners=plan.owners3,
+        phase=f"{phase}/step3-recombine",
+        expect_max_load=_LOAD_SLACK * q2 * q2,
+    )
+
+    # Step 4: the q-way Boolean reduction over w2 is a word-parallel OR;
+    # the reduce allocates fresh output (arena buffers never escape).
+    recombined = flat_recombined.reshape(n, q, q, pw)
+    return np.bitwise_or.reduce(recombined, axis=1)
+
+
+__all__ = [
+    "semiring_matmul",
+    "CubePlan",
+    "cube_plan",
+    "boolean_matmul_packed",
+    "pack_bool_matrix",
+    "unpack_bool_matrix",
+]

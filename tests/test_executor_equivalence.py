@@ -114,6 +114,46 @@ class TestBatchProducts:
                 assert np.array_equal(rp, gp), semiring.name
                 assert np.array_equal(rw, gw), semiring.name
 
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_boolean_packed_products_identical(self, sharded, seed):
+        from repro.algebra.semirings import pack_bool_rows, unpack_bool_rows
+
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(2, 10))
+        m, k, n = (int(rng.integers(1, 30)) for _ in range(3))
+        x = (rng.random((batch, m, k)) < 0.3).astype(np.int64)
+        y = (rng.random((batch, k, n)) < 0.3).astype(np.int64)
+        xw, yw = pack_bool_rows(x), pack_bool_rows(y)
+        ref = SERIAL_EXECUTOR.boolean_packed_products(xw, yw, k)
+        got = sharded.boolean_packed_products(xw, yw, k)
+        assert np.array_equal(ref, got)
+        assert np.array_equal(
+            unpack_bool_rows(ref, n), BOOLEAN.matmul_batch(x, y)
+        )
+
+    def test_executor_thread_combinations_identical(self):
+        """Every shards x threads combination computes the same products."""
+        rng = np.random.default_rng(13)
+        x = rng.integers(-20, 60, (6, 9, 9), dtype=np.int64)
+        y = rng.integers(-20, 60, (6, 9, 9), dtype=np.int64)
+        x[rng.random(x.shape) < 0.3] = INF
+        y[rng.random(y.shape) < 0.3] = INF
+        ref_p, ref_w = SERIAL_EXECUTOR.semiring_products(
+            MIN_PLUS, x, y, with_witnesses=True
+        )
+        for shards, threads in ((1, 2), (2, 1), (2, 2)):
+            executor = make_executor(shards, threads)
+            try:
+                got_p, got_w = executor.semiring_products(
+                    MIN_PLUS, x, y, with_witnesses=True
+                )
+                assert np.array_equal(ref_p, got_p), (shards, threads)
+                assert np.array_equal(ref_w, got_w), (shards, threads)
+            finally:
+                if executor is not SERIAL_EXECUTOR:
+                    executor.close()
+
     def test_ring_products_identical(self, sharded, rng):
         x = rng.integers(-9, 10, (7, 6, 6))
         y = rng.integers(-9, 10, (7, 6, 6))

@@ -142,6 +142,36 @@ class TestPackedBoolean:
         )
 
 
+class TestPersistentPackedClosure:
+    """Kernel generation 3 rides on the gen-2 packed kernel: closures kept
+    bit-packed across squarings must be invisible next to the per-product
+    packing path and the seed cube oracle."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_packed_closure_matches_unpacked_and_oracle(self, seed):
+        from repro.engine import open_session
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.choice([8, 27]))
+        density = float(rng.choice([0.03, 0.15, 0.6]))
+        a = (rng.random((n, n)) < density).astype(np.int64)
+        with open_session(n, "semiring", BOOLEAN) as packed:
+            pc = packed.closure(a)
+            packed_rounds = packed.rounds
+            packed_phases = list(packed.meter.phases)
+        with open_session(n, "semiring", BOOLEAN, packed_closure=False) as plain:
+            uc = plain.closure(a)
+            assert packed_rounds == plain.rounds
+            assert packed_phases == plain.meter.phases
+        assert np.array_equal(pc, uc)
+        # Seed oracle: dense Boolean repeated squaring with absorb.
+        reach = a > 0
+        for _ in range(max(1, int(np.ceil(np.log2(max(2, n)))))):
+            reach = reach | (reach @ reach)
+        assert np.array_equal(pc, reach.astype(np.int64))
+
+
 # --------------------------------------------------------------------- #
 # Packed max-min witness kernel
 # --------------------------------------------------------------------- #

@@ -1,0 +1,520 @@
+"""Kernel generation 3: threaded tile backends + persistent packed closures.
+
+Three invariants pin the third kernel wave to the retained oracles:
+
+* **Scheduling is invisible.**  Every tile backend (serial, threaded, any
+  thread count) produces bit-identical values and witnesses for every
+  batched kernel -- tiles write disjoint output slices and no kernel merges
+  in scheduling order -- and the shared range splitter behind shard ranges
+  and tile ranges is balanced, gap-free and non-overlapping on every shape
+  (property-tested).
+* **Packing is invisible.**  The fully-packed Boolean §2.1 pipeline and the
+  persistent packed closure charge the *same phases* (rounds, words,
+  payloads, per-node loads) as the unpacked path and return the same
+  matrices, across densities, sizes, absorb modes, shards x threads
+  combinations, and with robust (fault-injected) collectives layered on
+  top.
+* **Lifecycle is deterministic.**  Engine sessions close their executor and
+  arena on context exit; thread pools survive being inherited through
+  ``fork`` (the sharded executor's start method).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.backends import (
+    HAVE_NUMBA,
+    KernelBackendError,
+    SerialBackend,
+    ThreadedBackend,
+    backend_info,
+    get_backend,
+    get_default_backend,
+    set_default_backend,
+    tile_ranges,
+)
+from repro.algebra.semirings import (
+    BOOLEAN,
+    MAX_MIN,
+    MIN_PLUS,
+    pack_bool_rows,
+    packed_words,
+    unpack_bool_rows,
+)
+from repro.clique.executor import (
+    SERIAL_EXECUTOR,
+    SerialExecutor,
+    ShardedExecutor,
+    make_executor,
+    shard_ranges,
+)
+from repro.clique.model import CongestedClique
+from repro.constants import INF
+from repro.engine import EngineSession, make_clique, open_session
+from repro.matmul.semiring3d import (
+    boolean_matmul_packed,
+    pack_bool_matrix,
+    semiring_matmul,
+    unpack_bool_matrix,
+)
+
+
+def _phases(clique):
+    return [
+        (p.phase, p.primitive, p.rounds, p.words, p.payloads,
+         p.max_send_words, p.max_recv_words)
+        for p in clique.meter.phases
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Backend registry
+# --------------------------------------------------------------------- #
+
+
+class TestBackendRegistry:
+    def test_specs_resolve_and_cache(self):
+        serial = get_backend("serial")
+        assert isinstance(serial, SerialBackend)
+        assert serial.threads == 1 and serial.spec == "serial"
+        assert get_backend("serial") is serial
+        assert get_backend(1) is serial
+
+        threaded = get_backend("threaded:3")
+        assert isinstance(threaded, ThreadedBackend)
+        assert threaded.threads == 3 and threaded.spec == "threaded:3"
+        assert get_backend("threaded:3") is threaded
+        assert get_backend(3) is threaded
+        assert get_backend(threaded) is threaded
+
+    def test_bare_threaded_uses_cpu_count(self):
+        import os
+
+        backend = get_backend("threaded")
+        assert backend.threads == (os.cpu_count() or 1)
+
+    def test_serial_ignores_thread_count(self):
+        assert get_backend("serial:7").threads == 1
+
+    def test_default_backend_roundtrip(self):
+        previous = set_default_backend("threaded:2")
+        try:
+            assert get_default_backend().spec == "threaded:2"
+            assert get_backend(None) is get_backend("threaded:2")
+        finally:
+            set_default_backend(previous)
+        assert get_default_backend().spec == previous
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(KernelBackendError):
+            get_backend("vectorised")
+        with pytest.raises(KernelBackendError):
+            get_backend("threaded:zero")
+        with pytest.raises(KernelBackendError):
+            get_backend("threaded:0")
+        with pytest.raises(KernelBackendError):
+            get_backend(0)
+
+    def test_numba_backend_gated_on_availability(self):
+        if HAVE_NUMBA:  # pragma: no cover - environment-dependent
+            assert get_backend("numba:2").compiled
+        else:
+            with pytest.raises(KernelBackendError, match="numba"):
+                get_backend("numba:2")
+
+    def test_backend_info_shape(self):
+        info = backend_info()
+        assert set(info) == {"cpus", "default_backend", "threadpoolctl", "numba"}
+        assert info["cpus"] >= 1
+
+    def test_run_propagates_task_errors(self):
+        def boom():
+            raise RuntimeError("tile failed")
+
+        backend = ThreadedBackend(2)
+        try:
+            with pytest.raises(RuntimeError, match="tile failed"):
+                backend.run([boom, boom])
+        finally:
+            backend.close()
+
+
+# --------------------------------------------------------------------- #
+# Range splitters (shards and tiles share one implementation)
+# --------------------------------------------------------------------- #
+
+
+class TestRangeSplitters:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_balanced_gapfree_nonoverlapping(self, total, parts):
+        ranges = tile_ranges(total, parts)
+        assert ranges == shard_ranges(total, parts)
+        # Gap-free and non-overlapping: ranges chain exactly over [0, total).
+        cursor = 0
+        for lo, hi in ranges:
+            assert lo == cursor and hi > lo
+            cursor = hi
+        assert cursor == total or (total == 0 and ranges == [])
+        # Balanced: sizes differ by at most one.
+        if ranges:
+            sizes = [hi - lo for lo, hi in ranges]
+            assert max(sizes) - min(sizes) <= 1
+            assert len(ranges) == min(parts, total)
+
+    def test_degenerate_shapes(self):
+        assert tile_ranges(0, 5) == []
+        assert tile_ranges(1, 8) == [(0, 1)]
+        assert tile_ranges(3, 8) == [(0, 1), (1, 2), (2, 3)]
+        with pytest.raises(ValueError):
+            tile_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            tile_ranges(5, 0)
+        with pytest.raises(ValueError):
+            shard_ranges(5, 0)
+
+
+# --------------------------------------------------------------------- #
+# Threaded tiles == serial tiles, bit for bit
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def threaded2():
+    backend = get_backend("threaded:2")
+    yield backend
+    # Shared registry instance: leave it cached, just drop its pool.
+    backend.close()
+
+
+class TestThreadedKernelEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_boolean_packed_batch(self, threaded2, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(2, 8))
+        m, k, n = (int(rng.integers(1, 40)) for _ in range(3))
+        x = (rng.random((batch, m, k)) < 0.25).astype(np.int64)
+        y = (rng.random((batch, k, n)) < 0.25).astype(np.int64)
+        serial = BOOLEAN.packed_matmul_batch(x, y)
+        threaded = BOOLEAN.packed_matmul_batch(x, y, backend=threaded2)
+        assert np.array_equal(serial, threaded)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_selection_witness_batch(self, threaded2, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(2, 8))
+        m, k, n = (int(rng.integers(1, 12)) for _ in range(3))
+        for semiring in (MIN_PLUS, MAX_MIN):
+            x = rng.integers(-50, 50, (batch, m, k), dtype=np.int64)
+            y = rng.integers(-50, 50, (batch, k, n), dtype=np.int64)
+            if semiring is MIN_PLUS:
+                x[rng.random(x.shape) < 0.3] = INF
+                y[rng.random(y.shape) < 0.3] = INF
+            sp, sw = semiring.matmul_batch_with_witness(x, y)
+            tp, tw = semiring.matmul_batch_with_witness(x, y, backend=threaded2)
+            assert np.array_equal(sp, tp), semiring.name
+            assert np.array_equal(sw, tw), semiring.name
+
+    def test_single_big_block_column_split(self, threaded2):
+        """batch == 1 forces the column split path (threads over output
+        columns); values and witnesses must still match serial exactly."""
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 100, (1, 64, 64), dtype=np.int64)
+        y = rng.integers(0, 100, (1, 64, 64), dtype=np.int64)
+        sp, sw = MIN_PLUS.matmul_batch_with_witness(x, y)
+        tp, tw = MIN_PLUS.matmul_batch_with_witness(x, y, backend=threaded2)
+        assert np.array_equal(sp, tp) and np.array_equal(sw, tw)
+
+    def test_serial_executor_with_thread_backend(self, threaded2):
+        rng = np.random.default_rng(5)
+        x = (rng.random((6, 16, 16)) < 0.3).astype(np.int64)
+        y = (rng.random((6, 16, 16)) < 0.3).astype(np.int64)
+        ref = SERIAL_EXECUTOR.semiring_products(BOOLEAN, x, y)
+        got = SerialExecutor(threaded2).semiring_products(BOOLEAN, x, y)
+        assert np.array_equal(ref, got)
+
+    def test_thread_pools_survive_fork(self, threaded2):
+        """Regression: a forked shard worker inherits the parent's cached
+        thread backends; their pools have no threads in the child and must
+        be rebuilt, not blocked on."""
+        rng = np.random.default_rng(9)
+        # Exercise the parent's pool so there is live pool state to inherit.
+        xw = pack_bool_rows((rng.random((4, 8, 16)) < 0.4).astype(np.int64))
+        yw = pack_bool_rows((rng.random((4, 16, 16)) < 0.4).astype(np.int64))
+        BOOLEAN.packed_words_matmul_batch(xw, yw, 16, backend=threaded2)
+        with ShardedExecutor(2, backend="threaded:2") as sharded:
+            lefts = pack_bool_rows((rng.random((4, 8, 16)) < 0.4).astype(np.int64))
+            rights = pack_bool_rows((rng.random((4, 16, 16)) < 0.4).astype(np.int64))
+            got = sharded.boolean_packed_products(lefts, rights, 16)
+            ref = SERIAL_EXECUTOR.boolean_packed_products(lefts, rights, 16)
+            assert np.array_equal(got, ref)
+
+
+# --------------------------------------------------------------------- #
+# Pre-packed Boolean kernel and the packed §2.1 pipeline
+# --------------------------------------------------------------------- #
+
+
+class TestPackedWordsKernel:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_pack_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(int(rng.integers(1, 20)) for _ in range(2))
+        bits = int(rng.integers(0, 200))
+        x = (rng.random(shape + (bits,)) < 0.4).astype(np.int64)
+        words = pack_bool_rows(x)
+        assert words.shape == shape + (packed_words(bits),)
+        assert np.array_equal(unpack_bool_rows(words, bits), x)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_packed_in_packed_out_matches_cube(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(1, 5))
+        m, k, n = (int(rng.integers(1, 50)) for _ in range(3))
+        x = (rng.random((batch, m, k)) < 0.3).astype(np.int64)
+        y = (rng.random((batch, k, n)) < 0.3).astype(np.int64)
+        packed = BOOLEAN.packed_words_matmul_batch(
+            pack_bool_rows(x), pack_bool_rows(y), k
+        )
+        want = np.stack([BOOLEAN.cube_matmul(x[b], y[b]) for b in range(batch)])
+        # The packed result *is* the packed truth -- products compose
+        # without unpacking.
+        assert np.array_equal(packed, pack_bool_rows(want))
+        assert np.array_equal(unpack_bool_rows(packed, n), want)
+
+    def test_composes_across_repeated_squarings(self):
+        rng = np.random.default_rng(17)
+        a = (rng.random((1, 24, 24)) < 0.1).astype(np.int64)
+        packed = pack_bool_rows(a)
+        dense = a
+        for _ in range(3):
+            packed = BOOLEAN.packed_words_matmul_batch(packed, packed, 24)
+            dense = np.stack([BOOLEAN.cube_matmul(dense[0], dense[0])])
+            assert np.array_equal(packed, pack_bool_rows(dense))
+
+
+class TestPackedPipeline:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_matches_unpacked_pipeline_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.choice([8, 27, 64]))
+        density = float(rng.choice([0.02, 0.2, 0.8]))
+        s = (rng.random((n, n)) < density).astype(np.int64)
+        t = (rng.random((n, n)) < density).astype(np.int64)
+        ref_clique = CongestedClique(n)
+        ref = semiring_matmul(ref_clique, s, t, BOOLEAN)
+        packed_clique = CongestedClique(n)
+        pp = boolean_matmul_packed(
+            packed_clique, pack_bool_matrix(s, n), pack_bool_matrix(t, n)
+        )
+        assert np.array_equal(unpack_bool_matrix(pp, n), ref)
+        assert np.array_equal(pp, pack_bool_matrix(ref, n))
+        assert ref_clique.rounds == packed_clique.rounds
+        assert _phases(ref_clique) == _phases(packed_clique)
+
+    def test_matrix_pack_roundtrip_and_shapes(self):
+        rng = np.random.default_rng(2)
+        n = 27
+        m = (rng.random((n, n)) < 0.3).astype(np.int64)
+        assert np.array_equal(unpack_bool_matrix(pack_bool_matrix(m, n), n), m)
+        with pytest.raises(ValueError):
+            pack_bool_matrix(m[:-1], n)
+        with pytest.raises(ValueError):
+            unpack_bool_matrix(np.zeros((n, 3, 99), dtype=np.int64), n)
+
+    def test_rejects_misshapen_operands(self):
+        clique = CongestedClique(8)
+        good = pack_bool_matrix(np.eye(8, dtype=np.int64), 8)
+        with pytest.raises(ValueError):
+            boolean_matmul_packed(clique, good[:, :1], good)
+
+
+# --------------------------------------------------------------------- #
+# Persistent packed closures through the session
+# --------------------------------------------------------------------- #
+
+
+def _closure_pair(n, matrix, *, absorb="accum", steps=None, **kwargs):
+    with open_session(n, "semiring", BOOLEAN, **kwargs) as packed:
+        pc = packed.closure(matrix, absorb=absorb, steps=steps)
+        packed_rounds = packed.rounds
+        packed_phases = _phases(packed.clique)
+    with open_session(n, "semiring", BOOLEAN, packed_closure=False) as plain:
+        uc = plain.closure(matrix, absorb=absorb, steps=steps)
+        plain_rounds = plain.rounds
+        plain_phases = _phases(plain.clique)
+    return pc, uc, (packed_rounds, packed_phases), (plain_rounds, plain_phases)
+
+
+class TestPackedClosure:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_matches_unpacked_closure_and_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.choice([8, 27]))
+        density = float(rng.choice([0.02, 0.1, 0.5]))
+        a = (rng.random((n, n)) < density).astype(np.int64)
+        for absorb in ("accum", "matrix"):
+            pc, uc, (pr, pp), (ur, up) = _closure_pair(n, a, absorb=absorb)
+            assert np.array_equal(pc, uc), absorb
+            assert pr == ur and pp == up, absorb
+
+    def test_large_size_straddles_dispatch_thresholds(self):
+        """n=64 closures put q^2 = 256-bit pieces through the packed kernel
+        (above the byte-chunk boundary) -- values and meters still match."""
+        rng = np.random.default_rng(23)
+        a = (rng.random((64, 64)) < 0.05).astype(np.int64)
+        pc, uc, (pr, pp), (ur, up) = _closure_pair(64, a)
+        assert np.array_equal(pc, uc)
+        assert pr == ur and pp == up
+
+    def test_closure_reaches_transitive_closure(self):
+        rng = np.random.default_rng(4)
+        n = 27
+        a = (rng.random((n, n)) < 0.08).astype(np.int64)
+        with open_session(n, "semiring", BOOLEAN) as session:
+            closed = session.closure(a)
+        reach = a.astype(bool)
+        for _ in range(n):
+            reach = reach | (reach @ reach)
+        assert np.array_equal(closed, reach.astype(np.int64))
+
+    def test_nonbinary_seed_thresholded_like_unpacked(self):
+        rng = np.random.default_rng(6)
+        n = 8
+        a = rng.integers(0, 5, (n, n), dtype=np.int64)
+        pc, uc, (pr, pp), (ur, up) = _closure_pair(n, a, absorb="matrix")
+        assert np.array_equal(pc, uc)
+        assert pr == ur and pp == up
+
+    def test_zero_steps_returns_seed_unchanged(self):
+        a = np.zeros((8, 8), dtype=np.int64)
+        a[0, 1] = 5
+        with open_session(8, "semiring", BOOLEAN) as session:
+            out = session.closure(a, steps=0)
+        assert np.array_equal(out, a)
+
+    def test_on_step_hook_disables_packed_path(self):
+        """The packed loop cannot surface intermediate accumulators, so a
+        hook must fall back to the unpacked loop -- and still see 0/1
+        accumulators each step."""
+        rng = np.random.default_rng(8)
+        n = 8
+        a = (rng.random((n, n)) < 0.3).astype(np.int64)
+        seen = []
+        with open_session(n, "semiring", BOOLEAN) as session:
+            hooked = session.closure(
+                a, on_step=lambda step, accum: seen.append(step) or None
+            )
+        with open_session(n, "semiring", BOOLEAN) as session:
+            plain = session.closure(a)
+        assert seen == list(range(len(seen))) and len(seen) >= 1
+        assert np.array_equal(hooked, plain)
+
+    @pytest.mark.parametrize("shards,threads", [(1, 2), (2, 1), (2, 2)])
+    def test_shards_threads_combinations(self, shards, threads):
+        rng = np.random.default_rng(shards * 10 + threads)
+        n = 8
+        a = (rng.random((n, n)) < 0.3).astype(np.int64)
+        with open_session(
+            n, "semiring", BOOLEAN, shards=shards, threads=threads
+        ) as session:
+            assert session.executor.threads == threads
+            got = session.closure(a)
+            got_rounds = session.rounds
+            got_phases = _phases(session.clique)
+        with open_session(n, "semiring", BOOLEAN) as session:
+            ref = session.closure(a)
+            assert np.array_equal(got, ref)
+            assert got_rounds == session.rounds
+            assert got_phases == _phases(session.clique)
+
+    def test_robust_collectives_on_packed_closure(self):
+        """--faults layered on top: the packed closure through replication-
+        coded collectives equals the fault-free oracle, packed and
+        unpacked alike."""
+        from repro.faults import FaultPlan
+
+        rng = np.random.default_rng(31)
+        n = 8
+        a = (rng.random((n, n)) < 0.3).astype(np.int64)
+        plan = FaultPlan(t=1, seed=5, kind="flip")
+        robust = make_clique(n, "semiring", fault_plan=plan, fault_tolerance=1)
+        with EngineSession(robust, "semiring", BOOLEAN) as session:
+            got = session.closure(a)
+            assert robust.faults_injected > 0
+        with open_session(n, "semiring", BOOLEAN) as session:
+            ref = session.closure(a)
+        with open_session(n, "semiring", BOOLEAN, packed_closure=False) as session:
+            unpacked_ref = session.closure(a)
+        assert np.array_equal(got, ref)
+        assert np.array_equal(got, unpacked_ref)
+
+
+# --------------------------------------------------------------------- #
+# Deterministic lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestSessionLifecycle:
+    def test_context_manager_closes_executor_and_arena(self):
+        with open_session(8, "semiring", BOOLEAN, shards=2) as session:
+            sharded = session.executor
+            assert isinstance(sharded, ShardedExecutor)
+            a = (np.random.default_rng(0).random((8, 8)) < 0.4).astype(np.int64)
+            session.closure(a)
+            assert len(session.arena) > 0
+            assert sharded._pool is not None
+        assert sharded._pool is None
+        assert len(session.arena) == 0 and session.arena.nbytes() == 0
+
+    def test_close_is_idempotent_and_meter_survives(self):
+        session = open_session(8, "semiring", BOOLEAN)
+        a = np.eye(8, dtype=np.int64)
+        session.closure(a, steps=1)
+        rounds = session.rounds
+        session.close()
+        session.close()
+        assert session.rounds == rounds  # meter still readable
+
+    def test_arena_release_allows_reuse(self):
+        from repro.clique.arena import ExchangeArena
+
+        arena = ExchangeArena()
+        buf = arena.buffer("x", (4, 4))
+        buf[:] = 3
+        arena.release()
+        assert len(arena) == 0
+        fresh = arena.buffer("x", (4, 4))
+        assert not fresh.any()  # re-zeroed after release
+
+    def test_make_executor_threads(self):
+        assert make_executor(1, 1) is SERIAL_EXECUTOR
+        threaded = make_executor(1, 2)
+        assert isinstance(threaded, SerialExecutor)
+        assert threaded.threads == 2
+        sharded = make_executor(2, 2)
+        try:
+            assert isinstance(sharded, ShardedExecutor)
+            assert sharded.threads == 2 and sharded.shards == 2
+        finally:
+            sharded.close()
+        with pytest.raises(ValueError):
+            make_executor(1, 0)
+
+    def test_open_session_rejects_threads_with_explicit_clique(self):
+        clique = CongestedClique(8)
+        with pytest.raises(ValueError, match="threads"):
+            open_session(8, "semiring", BOOLEAN, clique=clique, threads=2)
