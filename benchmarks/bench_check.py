@@ -74,7 +74,11 @@ REUSE_NOISE_FLOOR = 1.05
 #: engine sections.  In "sessions", the fixed-size ``witness_kernel`` row
 #: carries a plain ``speedup`` field (shard speedups are
 #: machine/core-count dependent and deliberately not gated) and the
-#: ``plan_cache`` reuse row is gated with :data:`REUSE_TOLERANCE`.
+#: ``plan_cache`` reuse row is gated with :data:`REUSE_TOLERANCE`.  In
+#: "serve", the ``dist_batch`` speedup is ratio-gated, the ``artifact_open``
+#: and ``delta_update`` round bills are deterministic and gated for exact
+#: equality, and the wall-clock ``query_serving`` latency row carries no
+#: speedup/rounds fields so it is reported but never gated.
 SECTIONS = (
     "kernel",
     "kernel_gate",
@@ -84,6 +88,7 @@ SECTIONS = (
     "kernel3",
     "spanning",
     "faults",
+    "serve",
     "sessions",
 )
 

@@ -42,6 +42,13 @@ Times four layers and writes ``BENCH_matmul.json``:
   adversaries, verified equal to the fault-free oracle, with the
   deterministic encoded vs abstract round bills (exact-equality gated)
   and the honest redundancy ``overhead_factor``.
+* **Serve** -- the PR 8 serving layer: building vs memory-mapping the
+  ``n = 512`` closure artifact (build rounds exact-equality gated), 10k
+  batched distance queries as one fancy-index gather vs the per-query
+  Python loop (the ``>= 50x`` target asserted before the row is written),
+  the dirty-strip delta update vs a forced full rebuild with identical
+  closures and the deterministic round-bill ratio as the gated speedup,
+  and informational qps/p50/p99 through the asyncio batching server.
 * **Sessions** -- the end-to-end engine-session pipeline: exact APSP and
   directed girth through one bound session on the serial vs the sharded
   executor (identical rounds asserted), the packed min-plus witness kernel
@@ -595,6 +602,152 @@ def faults_section(reps: int) -> dict:
     return section
 
 
+def serve_section(reps: int) -> dict:
+    """Serving layer (PR 8), fixed sizes in every mode (gateable).
+
+    Four rows:
+
+    * ``artifact_open`` -- building the ``n = 512`` closure artifact vs
+      memory-mapping it back: open is a manifest parse plus three mmap
+      calls, O(1) in ``n``.  The deterministic build round bill rides
+      along and is gated for exact equality.
+    * ``dist_batch`` -- the headline: 10k pair queries answered as one
+      fancy-index gather against a per-query Python loop over the same
+      memmap; values asserted identical (and the >= 50x target asserted)
+      before timing.
+    * ``delta_update`` -- a 4-edge decrease batch folded into the resident
+      closure by the dirty-strip arm vs a forced full rebuild at
+      ``n = 64``: closure values asserted edge-for-edge equal first, both
+      deterministic round bills exact-equality gated, and the committed
+      ``speedup`` is their *ratio* -- rounds, not wall clock, so the row
+      cannot flap.
+    * ``query_serving`` -- informational qps/p50/p99 through the asyncio
+      batching server via the ``load_serve`` harness (wall-clock latency
+      on a shared box: reported, not gated).
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from load_serve import run_load
+    from repro.engine.session import EngineSession, make_clique
+    from repro.runtime import pad_matrix
+    from repro.serve import ClosureArtifact, QueryEngine, apply_edge_updates
+
+    section: dict[str, dict] = {}
+    rng = np.random.default_rng(21)
+    n = 512
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _Path(tmp) / "closure-512"
+        graph = random_weighted_graph(n, 0.02, max_weight=100, seed=7)
+        session = EngineSession(
+            make_clique(n, "semiring"), "semiring", MIN_PLUS
+        )
+        started = time.perf_counter()
+        artifact = ClosureArtifact.build(session, graph, path)
+        build_s = time.perf_counter() - started
+        open_s = _best_of(lambda: ClosureArtifact.open(path), max(reps, 10))
+        section["artifact_open"] = {
+            "n": n,
+            "rounds": artifact.rounds,
+            "build_seconds": round(build_s, 4),
+            "open_seconds": round(open_s, 6),
+            "open_to_build_ratio": round(open_s / build_s, 6),
+        }
+
+        # ---- batched gather vs the per-query Python loop. -------------- #
+        engine = QueryEngine(artifact)
+        pairs = 10_000
+        us = rng.integers(0, n, pairs)
+        vs = rng.integers(0, n, pairs)
+
+        def loop_queries():
+            return [engine.dist(int(u), int(v)) for u, v in zip(us, vs)]
+
+        def batch_queries():
+            return engine.dist_batch(us, vs)
+
+        assert np.array_equal(np.array(loop_queries()), batch_queries())
+        # Both sides are ~ms-scale, so extra reps are nearly free and keep
+        # the best-of stable around the asserted 50x floor.
+        loop_s, batch_s = _best_of_pair(
+            loop_queries, batch_queries, max(reps, 5)
+        )
+        speedup = loop_s / batch_s
+        assert speedup >= 50, f"batch serving target missed: {speedup:.1f}x"
+        section["dist_batch"] = {
+            "n": n,
+            "pairs": pairs,
+            "loop_seconds": round(loop_s, 4),
+            "batch_seconds": round(batch_s, 6),
+            "speedup": round(speedup, 2),
+        }
+
+        # ---- the asyncio batching server under concurrent clients. ----- #
+        load = run_load(
+            path, clients=8, requests_per_client=100, window=0.001, seed=3
+        )
+        section["query_serving"] = {
+            "clients": 8,
+            "requests": load["requests"],
+            "qps": load["qps"],
+            "p50_ms": load["p50_ms"],
+            "p99_ms": load["p99_ms"],
+            "mean_batch": load["mean_batch"],
+        }
+
+    # ---- dirty-strip delta maintenance vs a full rebuild. -------------- #
+    nd, k = 64, 4
+    dgraph = random_weighted_graph(nd, 0.3, max_weight=50, seed=9)
+
+    def closed_session():
+        session = EngineSession(
+            make_clique(nd, "semiring"), "semiring", MIN_PLUS
+        )
+        weights = pad_matrix(dgraph.weight_matrix(), session.n, fill=INF)
+        session.seed_resident(weights)
+        session.resident_closure()
+        return session, weights
+
+    fast, w_fast = closed_session()
+    slow, w_slow = closed_session()
+    updates: list[tuple[int, int, int]] = []
+    while len(updates) < k:
+        u, v = (int(x) for x in rng.integers(0, nd, 2))
+        if u == v:
+            continue
+        current = int(w_fast[u, v])
+        if current >= INF:
+            updates.append((u, v, 1))  # insertion
+        elif current > 1:
+            updates.append((u, v, current - 1))  # decrease
+    started = time.perf_counter()
+    delta = apply_edge_updates(fast, w_fast, updates)
+    delta_s = time.perf_counter() - started
+    started = time.perf_counter()
+    rebuild = apply_edge_updates(slow, w_slow, updates, force_rebuild=True)
+    rebuild_s = time.perf_counter() - started
+    # The values gate: both arms must agree edge for edge before the round
+    # bills are worth comparing at all.
+    assert delta.mode == "delta" and rebuild.mode == "rebuild"
+    # Values must agree edge for edge; hop tables may break shortest-path
+    # ties differently between the two arms, so they are validated by the
+    # path-chasing tests rather than compared bit for bit here.
+    assert np.array_equal(fast.resident.dist, slow.resident.dist)
+    assert delta.rounds < rebuild.rounds
+    section["delta_update"] = {
+        "n": nd,
+        "edges": k,
+        "dirty": delta.dirty,
+        "rounds": delta.rounds,
+        "rebuild_rounds": rebuild.rounds,
+        "speedup": round(rebuild.rounds / delta.rounds, 2),
+        "delta_seconds": round(delta_s, 4),
+        "rebuild_seconds": round(rebuild_s, 4),
+    }
+    return section
+
+
 def session_section(apsp_n: int, girth_n: int, shards: int, reps: int) -> dict:
     """End-to-end engine sessions: serial vs sharded, cache vs replanning.
 
@@ -832,6 +985,8 @@ def build_report(quick: bool, gate_only: bool = False) -> dict:
     report["spanning"] = spanning_section(reps)
     # Fault-injection overhead (PR 6): fixed size, rounds gated for equality.
     report["faults"] = faults_section(reps)
+    # Serving layer (PR 8): fixed sizes, batch speedup + exact round gates.
+    report["serve"] = serve_section(reps)
     if gate_only:
         return report
     report["sessions"] = session_section(
@@ -870,6 +1025,8 @@ def build_report(quick: bool, gate_only: bool = False) -> dict:
         "plan_cache_speedup": report["sessions"]["plan_cache"][
             "session_reuse_speedup"
         ],
+        "serve_dist_batch_speedup": report["serve"]["dist_batch"]["speedup"],
+        "serve_delta_round_speedup": report["serve"]["delta_update"]["speedup"],
         "target_speedup": 5.0,
         "engine_target_speedup": 3.0,
         "packed_boolean_target_speedup": 2.0,

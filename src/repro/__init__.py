@@ -92,6 +92,12 @@ from repro.spanning import (
 )
 from repro.baselines import dolev_four_cycle_detect, dolev_triangle_count
 from repro.analysis import format_table1, run_table1
+from repro.serve import (
+    BatchingServer,
+    ClosureArtifact,
+    QueryEngine,
+    apply_edge_updates,
+)
 
 __version__ = "1.0.0"
 
@@ -160,4 +166,9 @@ __all__ = [
     "dolev_four_cycle_detect",
     "run_table1",
     "format_table1",
+    # serving layer
+    "ClosureArtifact",
+    "QueryEngine",
+    "BatchingServer",
+    "apply_edge_updates",
 ]

@@ -11,7 +11,11 @@ can be run without writing Python:
 * ``apsp`` -- a chosen APSP variant on a random weighted digraph;
 * ``girth`` -- girth of a generated graph;
 * ``spanner`` -- a Baswana-Sen ``(2k-1)``-spanner via session products;
-* ``mst`` -- the Jurdzinski-Nowicki O(1)-round MST skeleton.
+* ``mst`` -- the Jurdzinski-Nowicki O(1)-round MST skeleton;
+* ``build-artifact`` / ``query`` / ``update`` / ``serve`` -- the serving
+  layer: square a graph to a memory-mapped closure artifact once, then
+  answer distance/path queries (point, batched, or over TCP) and apply
+  incremental edge updates with zero full rebuilds.
 
 All workloads are seeded and printed with their parameters, so every
 invocation is reproducible.
@@ -306,6 +310,165 @@ def _cmd_mst(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0 if ok else 1
 
 
+def _cmd_build_artifact(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from repro.algebra.semirings import MIN_PLUS
+    from repro.graphs import random_weighted_digraph, random_weighted_graph
+    from repro.runtime import EngineSession
+    from repro.serve import ClosureArtifact
+
+    _require_selection_engine(parser, args, "build-artifact")
+    generator = random_weighted_digraph if args.directed else random_weighted_graph
+    g = generator(args.n, args.p, args.max_weight, seed=args.seed)
+    clique = _make_clique(parser, args, args.n)
+    session = EngineSession(clique, args.engine, MIN_PLUS)
+    # A degraded build (FaultToleranceExceeded) still writes its refusal
+    # manifest, then propagates to main()'s exit-2 path.
+    artifact = ClosureArtifact.build(session, g, args.out)
+    print(
+        f"artifact {args.out}: n={artifact.n} clique={clique.n} "
+        f"rounds={artifact.rounds} generation={artifact.generation} "
+        f"graph={artifact.graph_hash[:12]} ({args.engine} engine, "
+        f"shards={clique.executor.shards})"
+    )
+    _print_fault_summary(args, clique)
+    return 0
+
+
+def _open_artifact(args: argparse.Namespace, *, writable: bool = False):
+    """Open the artifact or return an exit code (degraded propagates)."""
+    from repro.serve import ArtifactError, ClosureArtifact
+
+    try:
+        return ClosureArtifact.open(args.artifact, writable=writable)
+    except ArtifactError as exc:
+        # Version/hash/layout mismatch: a usage-level refusal, distinct
+        # from the degraded-build exit 2 (FaultToleranceExceeded), which
+        # propagates to main().
+        print(f"cannot open artifact: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_query(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.constants import INF
+    from repro.serve import QueryEngine
+
+    artifact = _open_artifact(args)
+    if artifact is None:
+        return 1
+    engine = QueryEngine(artifact)
+    d = engine.dist(args.u, args.v)
+    shown = "inf" if d >= INF else d
+    print(
+        f"artifact n={artifact.n} generation={artifact.generation}: "
+        f"dist({args.u}, {args.v}) = {shown}"
+    )
+    if args.path:
+        path = engine.path(args.u, args.v)
+        print(
+            "path: " + (" -> ".join(str(x) for x in path) if path else "(unreachable)")
+        )
+    if args.ecc:
+        ecc = engine.ecc(args.u)
+        print(f"ecc({args.u}) = {'inf' if ecc >= INF else ecc}")
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.algebra.semirings import MIN_PLUS
+    from repro.errors import NegativeCycleError
+    from repro.runtime import EngineSession
+    from repro.serve import apply_edge_updates
+
+    _require_selection_engine(parser, args, "update")
+    artifact = _open_artifact(args, writable=True)
+    if artifact is None:
+        return 1
+    clique = _make_clique(parser, args, artifact.n)
+    session = EngineSession(clique, args.engine, MIN_PLUS)
+    dist, next_hop = artifact.resident_arrays(clique.n)
+    session.seed_resident(dist, next_hop=next_hop)
+    weights = artifact.padded_weights(clique.n)
+    try:
+        report = apply_edge_updates(
+            session,
+            weights,
+            args.edge,
+            artifact=artifact,
+            force_rebuild=args.rebuild,
+        )
+    except NegativeCycleError as exc:
+        print(f"update rejected: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"update mode={report.mode} edges={report.updates} "
+        f"dirty={report.dirty} rounds={report.rounds} "
+        f"improved={report.improved if report.improved >= 0 else 'n/a'} "
+        f"generation={report.generation}"
+        + (f" ({report.rebuild_reason})" if report.rebuild_reason else "")
+    )
+    _print_fault_summary(args, clique)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import asyncio
+
+    from repro.serve import BatchingServer, QueryEngine
+
+    artifact = _open_artifact(args)
+    if artifact is None:
+        return 1
+    engine = QueryEngine(artifact)
+
+    async def run() -> None:
+        server = BatchingServer(
+            engine,
+            window=args.window,
+            max_requests=args.max_requests or None,
+        )
+        host, port = await server.start(args.host, args.port)
+        print(
+            f"serving {args.artifact} (n={engine.n}, "
+            f"generation={artifact.generation}) on {host}:{port}",
+            flush=True,
+        )
+        if server.max_requests is None:
+            await asyncio.Event().wait()  # forever; Ctrl-C to stop
+        else:
+            await server.done.wait()
+            await server.close()
+            stats = server.stats
+            print(
+                f"served {stats.requests} requests in {stats.batches} "
+                f"batches (largest {stats.largest_batch})"
+            )
+
+    asyncio.run(run())
+    return 0
+
+
+def _edge_type(value: str) -> tuple[int, int, int]:
+    """Argparse type for ``--edge u,v,w`` (``w = inf`` deletes the edge)."""
+    from repro.constants import INF
+
+    parts = value.split(",")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--edge wants 'u,v,weight', got {value!r}"
+        )
+    try:
+        u, v = int(parts[0]), int(parts[1])
+        w = INF if parts[2].strip().lower() == "inf" else int(parts[2])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--edge wants integer endpoints and an integer (or 'inf') "
+            f"weight, got {value!r}"
+        )
+    return u, v, w
+
+
 def _shards_type(value: str) -> int:
     """Argparse type for ``--shards``: a positive worker count.
 
@@ -528,6 +691,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(p, default="semiring")
     _add_fault_flags(p)
     p.set_defaults(func=_cmd_mst, parser=p)
+
+    p = sub.add_parser(
+        "build-artifact",
+        help="square a seeded random graph to closure and materialise it "
+        "as a memory-mapped serving artifact",
+    )
+    p.add_argument("n", type=int)
+    p.add_argument("out", help="artifact directory to create/overwrite")
+    p.add_argument("--p", type=float, default=0.25)
+    p.add_argument("--max-weight", type=int, default=50)
+    p.add_argument("--directed", action="store_true")
+    _add_engine_flags(p, default="semiring")
+    _add_fault_flags(p)
+    p.set_defaults(func=_cmd_build_artifact, parser=p)
+
+    p = sub.add_parser(
+        "query",
+        help="answer one distance/path query from an artifact "
+        "(zero engine work)",
+    )
+    p.add_argument("artifact", help="artifact directory")
+    p.add_argument("u", type=int)
+    p.add_argument("v", type=int)
+    p.add_argument("--path", action="store_true", help="also reconstruct a path")
+    p.add_argument("--ecc", action="store_true", help="also print ecc(u)")
+    p.set_defaults(func=_cmd_query, parser=p)
+
+    p = sub.add_parser(
+        "update",
+        help="apply edge updates to an artifact (dirty-strip delta "
+        "re-squaring; full rebuild only on weight increases)",
+    )
+    p.add_argument("artifact", help="artifact directory (rewritten in place)")
+    p.add_argument(
+        "--edge",
+        type=_edge_type,
+        action="append",
+        required=True,
+        metavar="U,V,W",
+        help="edge update (repeatable); weight 'inf' deletes the edge",
+    )
+    p.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="force the full-rebuild arm (baseline for the delta bill)",
+    )
+    _add_engine_flags(p, default="semiring")
+    _add_fault_flags(p)
+    p.set_defaults(func=_cmd_update, parser=p)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve an artifact's queries over TCP/JSON-lines with "
+        "windowed micro-batching",
+    )
+    p.add_argument("artifact", help="artifact directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p.add_argument(
+        "--window",
+        type=float,
+        default=0.001,
+        help="batching window in seconds (default: %(default)s)",
+    )
+    p.add_argument(
+        "--max-requests",
+        type=int,
+        default=0,
+        help="exit after N requests (0 = serve forever); the smoke-test hook",
+    )
+    p.set_defaults(func=_cmd_serve, parser=p)
     return parser
 
 

@@ -16,6 +16,7 @@ from repro.engine.session import (
     MATMUL_METHODS,
     EngineBindingError,
     EngineSession,
+    ResidentClosure,
     default_steps,
     make_clique,
     open_session,
@@ -25,6 +26,7 @@ from repro.engine.session import (
 __all__ = [
     "EngineSession",
     "EngineBindingError",
+    "ResidentClosure",
     "open_session",
     "make_clique",
     "required_clique_size",

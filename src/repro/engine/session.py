@@ -29,6 +29,7 @@ embeddings in :mod:`repro.matmul.distance` instead).
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
@@ -57,6 +58,33 @@ from repro.matmul.semiring3d import (
 
 #: The three matmul engines sessions (and applications) can run on.
 MATMUL_METHODS = ("bilinear", "semiring", "naive")
+
+
+@dataclass
+class ResidentClosure:
+    """Selection-semiring closure state held resident by a session.
+
+    The packed-Boolean analogue for distances (kernel generation 3's
+    leftover): ``dist`` and its routing table stay inside the session
+    between squarings instead of being re-routed from the caller's matrix
+    each ``square``.  ``dist`` and ``next_hop`` are session-owned arrays
+    updated in place by :meth:`EngineSession.resident_square`; read them
+    freely, but mutate them only through the session (or
+    :func:`repro.serve.delta.apply_edge_updates`, which bills its strip
+    products on the same meter).
+
+    ``next_hop`` uses the *working* convention of
+    :func:`repro.distances.apsp.apsp_exact`: ``next_hop[u, u] == u`` so
+    witness merges can route through the endpoint itself; consumers that
+    want the external ``-1``-diagonal view copy and fix it up.
+    """
+
+    dist: np.ndarray
+    next_hop: np.ndarray
+    #: Squarings applied since seeding (full or delta).
+    squarings: int = 0
+    #: Bumped by every mutation after seeding (squarings, delta updates).
+    generation: int = 0
 
 
 class EngineBindingError(ValueError):
@@ -193,6 +221,9 @@ class EngineSession:
         #: Results returned by products are always freshly allocated; see
         #: repro.clique.arena for the aliasing rules.
         self.arena = ExchangeArena()
+        #: Persistent selection-semiring closure state (see
+        #: :class:`ResidentClosure`); ``None`` until :meth:`seed_resident`.
+        self._resident: ResidentClosure | None = None
 
         if isinstance(algebra, RingOps):
             if method != "bilinear":
@@ -265,6 +296,7 @@ class EngineSession:
         """
         self.clique.executor.close()
         self.arena.release()
+        self._resident = None
 
     def __enter__(self) -> "EngineSession":
         return self
@@ -531,6 +563,121 @@ class EngineSession:
             accum_p = squared
         return unpack_bool_matrix(accum_p, n)
 
+    # ------------------------------------------------------------------ #
+    # Persistent selection-semiring state (resident min-plus closures)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def resident(self) -> ResidentClosure | None:
+        """The resident closure state, or ``None`` before seeding."""
+        return self._resident
+
+    def seed_resident(
+        self, matrix: np.ndarray, *, next_hop: np.ndarray | None = None
+    ) -> ResidentClosure:
+        """Install ``matrix`` (and routing table) as resident session state.
+
+        Selection semirings with witnesses on the semiring/naive engines
+        only -- the same binding rule as ``closure(with_witnesses=True)``.
+        The matrix is copied into a session-owned ``n x n`` int64 buffer;
+        when ``next_hop`` is omitted, the default routing seed of
+        :func:`repro.distances.apsp.apsp_exact` is built (finite
+        off-diagonal entries route to their column, the diagonal to
+        itself).  Pass ``next_hop`` to restore previously closed state
+        (e.g. re-hydrating a serve artifact for delta updates); it is
+        copied too.  Replaces any prior resident state.
+        """
+        if self._ring is not None:
+            raise EngineBindingError(
+                "resident closures need a semiring binding; raw ring "
+                "sessions only multiply"
+            )
+        semiring: Semiring = self.algebra  # type: ignore[assignment]
+        if not semiring.has_witnesses:
+            raise EngineBindingError(
+                f"resident state needs a selection semiring with witnesses; "
+                f"{semiring.name!r} has none"
+            )
+        if self.method == "bilinear":
+            raise EngineBindingError(
+                "the bilinear engine has no native witnesses; resident "
+                "state runs on the semiring/naive engines"
+            )
+        n = self.n
+        dist = np.array(matrix, dtype=np.int64, copy=True)
+        if dist.shape != (n, n):
+            raise ValueError(f"matrix must be {n} x {n}, got {dist.shape}")
+        if next_hop is None:
+            hops = np.full((n, n), -1, dtype=np.int64)
+            edge_rows, edge_cols = np.nonzero(
+                semiring.improves(dist, semiring.zeros((n, n)))
+            )
+            hops[edge_rows, edge_cols] = edge_cols
+            np.fill_diagonal(hops, np.arange(n))
+        else:
+            hops = np.array(next_hop, dtype=np.int64, copy=True)
+            if hops.shape != (n, n):
+                raise ValueError(f"next_hop must be {n} x {n}, got {hops.shape}")
+        self._resident = ResidentClosure(dist=dist, next_hop=hops)
+        return self._resident
+
+    def resident_square(self, *, phase: str = "resident/square") -> bool:
+        """One witness squaring of the resident state, merged in place.
+
+        Runs the exact step of the ``with_witnesses`` closure loop --
+        square, arg-select witness merge, routing-table gather -- against
+        the resident arrays, so the round/word charges are bit-identical
+        to :meth:`closure` feeding the same matrix.  Returns whether any
+        entry improved (the fixed-point signal delta maintenance uses).
+        """
+        state = self._resident
+        if state is None:
+            raise RuntimeError("no resident state; call seed_resident first")
+        semiring: Semiring = self.algebra  # type: ignore[assignment]
+        squared, witness = self.square(
+            state.dist, with_witnesses=True, phase=phase
+        )
+        improved = semiring.improves(squared, state.dist)
+        rows, cols = np.nonzero(improved)
+        mids = witness[rows, cols]
+        state.next_hop[rows, cols] = state.next_hop[rows, mids]
+        np.copyto(state.dist, squared, where=improved)
+        state.squarings += 1
+        state.generation += 1
+        return bool(rows.size)
+
+    def resident_closure(
+        self,
+        *,
+        steps: int | None = None,
+        on_step: Callable[[int, np.ndarray], np.ndarray | None] | None = None,
+        phase: str = "closure",
+        step_label: str = "sq",
+    ) -> np.ndarray:
+        """Square the resident state to closure; returns the resident matrix.
+
+        The loop, phase labels and witness merges match
+        ``closure(with_witnesses=True, ...)`` step for step, so rounds and
+        meters are bit-identical -- only the accumulator's home differs
+        (session-resident instead of caller-owned).  The returned array *is*
+        ``self.resident.dist``; copy before mutating outside the session.
+        """
+        state = self._resident
+        if state is None:
+            raise RuntimeError("no resident state; call seed_resident first")
+        steps = default_steps(self.n) if steps is None else steps
+        for step in range(steps):
+            self.resident_square(phase=f"{phase}/{step_label}{step}")
+            if on_step is not None:
+                replaced = on_step(step, state.dist)
+                if replaced is not None:
+                    np.copyto(state.dist, replaced)
+        return state.dist
+
+    def drop_resident(self) -> None:
+        """Release the resident closure state (idempotent)."""
+        self._resident = None
+
 
 def open_session(
     n: int,
@@ -587,6 +734,7 @@ def open_session(
 __all__ = [
     "EngineSession",
     "EngineBindingError",
+    "ResidentClosure",
     "open_session",
     "make_clique",
     "required_clique_size",

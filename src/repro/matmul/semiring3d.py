@@ -52,6 +52,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.algebra.semirings import (
+    MIN_PLUS,
     PLUS_TIMES,
     Semiring,
     pack_bool_rows,
@@ -474,6 +475,40 @@ def boolean_matmul_packed(
     return np.bitwise_or.reduce(recombined, axis=1)
 
 
+def strip_product_with_witness(
+    dist_to_hubs: np.ndarray,
+    hub_closure: np.ndarray,
+    dist_from_hubs: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dirty-strip re-squaring kernel: ``(n,s) . (s,s) . (s,n)`` with witnesses.
+
+    The strip-restricted product behind incremental closure maintenance
+    (:func:`repro.serve.delta.apply_edge_updates`): for a dirty hub set
+    ``D`` of size ``s``, the candidate improvements are
+
+        ``C[a, b] = min over x, y in D of
+        dist_to_hubs[a, x] + hub_closure[x, y] + dist_from_hubs[y, b]``
+
+    computed as two rectangular selection-kernel calls (the witness kernels
+    already handle ``(m, k) x (k, n)`` operands).  Returns ``(C, wx, wy)``
+    where ``wy[a, b]`` is the exit-hub index attaining ``C[a, b]`` and
+    ``wx[a, j]`` the entry-hub index attaining the left factor
+    ``L[a, j] = min_x dist_to_hubs[a, x] + hub_closure[x, j]`` -- so the
+    attaining pair for ``(a, b)`` is ``(wx[a, wy[a, b]], wy[a, b])``.
+
+    Purely local compute: after the dirty hub closure and the ``s`` dirty
+    distance rows have been broadcast, row ``a`` of both factors lives at
+    node ``a``, so no exchange (and no round charge) happens here -- the
+    delta layer bills the broadcasts.
+    """
+    if not semiring.has_witnesses:
+        raise ValueError(f"semiring {semiring.name!r} has no witnesses")
+    left, wx = semiring.matmul_with_witness(dist_to_hubs, hub_closure)
+    cand, wy = semiring.matmul_with_witness(left, dist_from_hubs)
+    return cand, wx, wy
+
+
 __all__ = [
     "semiring_matmul",
     "CubePlan",
@@ -481,4 +516,5 @@ __all__ = [
     "boolean_matmul_packed",
     "pack_bool_matrix",
     "unpack_bool_matrix",
+    "strip_product_with_witness",
 ]

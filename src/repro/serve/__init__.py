@@ -1,0 +1,40 @@
+"""The serving layer: closures as a memory-mapped, queryable product.
+
+The engine is the **build side**: one session squares a weight matrix to
+its min-plus closure (with routing tables) and
+:class:`~repro.serve.artifact.ClosureArtifact` materialises the result as
+raw int64 blocks plus a JSON manifest.  Everything after that is the **hot
+side** and does zero engine work: :class:`~repro.serve.query.QueryEngine`
+answers point/batch distance, path and eccentricity queries straight off
+the memory-mapped blocks, :mod:`repro.serve.app` batches concurrent
+clients into single vectorised gathers, and
+:func:`~repro.serve.delta.apply_edge_updates` maintains the closure under
+edge updates by re-squaring only the dirty strips.
+
+Fault seam: an artifact whose build degraded (robust collectives exceeded
+their tolerance, or faults were injected without protection) is recorded
+as such in its manifest and *refuses to serve* -- the PR 6 no-silent-
+wrong-answers invariant crosses the build/serve boundary intact.
+"""
+
+from repro.serve.app import BatchingServer
+from repro.serve.artifact import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    ClosureArtifact,
+    graph_fingerprint,
+)
+from repro.serve.delta import DeltaReport, apply_edge_updates
+from repro.serve.query import QueryEngine, RoutingCycleError
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "BatchingServer",
+    "ClosureArtifact",
+    "graph_fingerprint",
+    "QueryEngine",
+    "RoutingCycleError",
+    "DeltaReport",
+    "apply_edge_updates",
+]

@@ -41,6 +41,12 @@ CASES = [
         ["edge-for-edge", "O(1)-round collectives"],
         id="spanning_workloads.py",
     ),
+    pytest.param(
+        "serving_workloads.py",
+        ["20"],
+        ["memory-mapped batch serving", "edge-for-edge", "generation 1"],
+        id="serving_workloads.py",
+    ),
 ]
 
 

@@ -33,7 +33,11 @@ from repro.distances import (
     validate_bottleneck_routing,
 )
 from repro.errors import CliqueModelError
-from repro.graphs import random_weighted_digraph, random_weighted_graph
+from repro.graphs import (
+    apsp_reference,
+    random_weighted_digraph,
+    random_weighted_graph,
+)
 from repro.matmul.semiring3d import cube_plan, semiring_matmul
 
 
@@ -415,3 +419,123 @@ class TestArenaBackedEngine:
             cur = got
         assert session_clique.rounds == fresh_clique.rounds
         assert session_clique.meter.phases == fresh_clique.meter.phases
+
+
+# --------------------------------------------------------------------- #
+# Resident min-plus closures (the serving layer's build side)
+# --------------------------------------------------------------------- #
+
+
+class TestResidentMinPlus:
+    """PR 8 extends gen-3's persistence to the selection semirings: a
+    min-plus closure kept session-resident between squarings (the state
+    the serve/delta layer maintains) must be invisible next to the
+    caller-matrix witness closure -- same values, same routing table,
+    same rounds, same meter entries."""
+
+    @staticmethod
+    def _seed(session, graph):
+        """The apsp_exact seed: padded weights + edge-to-column routing."""
+        from repro.runtime import pad_matrix
+
+        dist = pad_matrix(graph.weight_matrix(), session.n, fill=INF)
+        hops = np.full((session.n, session.n), -1, dtype=np.int64)
+        rows, cols = np.nonzero(dist < INF)
+        hops[rows, cols] = cols
+        np.fill_diagonal(hops, np.arange(session.n))
+        return dist, hops
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_resident_closure_matches_caller_matrix_closure(self, seed):
+        from repro.engine import open_session
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.choice([8, 19]))
+        density = float(rng.choice([0.1, 0.3, 0.7]))
+        graph = random_weighted_graph(n, density, max_weight=40, seed=seed)
+        with open_session(n, "semiring", MIN_PLUS) as caller:
+            dist, hops = self._seed(caller, graph)
+            out = caller.closure(dist, with_witnesses=True, next_hop=hops)
+            caller_rounds = caller.rounds
+            caller_phases = list(caller.meter.phases)
+        with open_session(n, "semiring", MIN_PLUS) as resident:
+            seed_dist, seed_hops = self._seed(resident, graph)
+            state = resident.seed_resident(seed_dist)
+            # The default routing seed is exactly the apsp_exact seed.
+            assert np.array_equal(state.next_hop, seed_hops)
+            got = resident.resident_closure()
+            assert got is state.dist
+            assert resident.rounds == caller_rounds
+            assert list(resident.meter.phases) == caller_phases
+            assert np.array_equal(got, out)
+            assert np.array_equal(state.next_hop, hops)
+        assert np.array_equal(got[:n, :n], apsp_reference(graph))
+
+    def test_resident_square_reaches_fixed_point(self):
+        from repro.engine import open_session
+
+        graph = random_weighted_graph(14, 0.4, max_weight=20, seed=5)
+        with open_session(14, "naive", MIN_PLUS) as session:
+            dist, _ = self._seed(session, graph)
+            session.seed_resident(dist)
+            improved = [session.resident_square() for _ in range(6)]
+            # Progress first, then a stable fixed point (n=14 closes in 4).
+            assert improved[0] is True
+            assert improved[-1] is False
+            assert session.resident.squarings == 6
+            before = session.resident.dist.copy()
+            assert not session.resident_square()
+            assert np.array_equal(session.resident.dist, before)
+
+    def test_max_min_resident_closure_matches_caller_matrix(self):
+        """The resident path is semiring-generic: bottleneck works too."""
+        from repro.engine import open_session
+
+        rng = np.random.default_rng(9)
+        n = 8  # perfect cube: the session matrices stay n x n
+        a = rng.integers(0, 30, (n, n), dtype=np.int64)
+        np.fill_diagonal(a, INF)
+        with open_session(n, "semiring", MAX_MIN) as caller:
+            hops = np.arange(n, dtype=np.int64) * np.ones((n, n), np.int64)
+            cap = caller.closure(
+                a.copy(), with_witnesses=True, next_hop=hops.copy()
+            )
+            caller_rounds = caller.rounds
+        with open_session(n, "semiring", MAX_MIN) as resident:
+            resident.seed_resident(a)
+            got = resident.resident_closure()
+            assert resident.rounds == caller_rounds
+            assert np.array_equal(got, cap)
+
+    def test_resident_binding_rules(self):
+        from repro.engine import EngineBindingError, EngineSession, open_session
+
+        with open_session(4, "bilinear") as ring:
+            with pytest.raises(EngineBindingError):
+                ring.seed_resident(np.zeros((ring.n, ring.n), dtype=np.int64))
+        boolean = EngineSession(CongestedClique(8), "semiring", BOOLEAN)
+        zeros = np.zeros((8, 8), dtype=np.int64)
+        with pytest.raises(EngineBindingError):
+            boolean.seed_resident(zeros)  # no witnesses, no routing tables
+
+    def test_resident_state_errors(self):
+        from repro.engine import open_session
+
+        with open_session(6, "naive", MIN_PLUS) as session:
+            with pytest.raises(RuntimeError, match="seed_resident"):
+                session.resident_square()
+            with pytest.raises(RuntimeError, match="seed_resident"):
+                session.resident_closure()
+            with pytest.raises(ValueError, match="6 x 6"):
+                session.seed_resident(np.zeros((3, 3), dtype=np.int64))
+            state = session.seed_resident(np.zeros((6, 6), dtype=np.int64))
+            with pytest.raises(ValueError, match="next_hop"):
+                session.seed_resident(
+                    np.zeros((6, 6), dtype=np.int64),
+                    next_hop=np.zeros((2, 2), dtype=np.int64),
+                )
+            assert session.resident is state
+            session.drop_resident()
+            assert session.resident is None
+            session.drop_resident()  # idempotent

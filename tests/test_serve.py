@@ -1,0 +1,731 @@
+"""The serving layer: artifacts, batch queries, delta maintenance, faults.
+
+Four seams, each pinned against an oracle:
+
+* **Artifacts** round-trip the resident closure bit-for-bit through raw
+  int64 blocks + manifest, open as read-only memmaps in O(1), and refuse
+  foreign/newer/mismatched/degraded manifests loudly;
+* **Queries** reconstruct paths whose weights equal the closure distance
+  and whose edges exist, validated against NetworkX ``shortest_path``
+  across seeds and densities -- including disconnected pairs, where INF
+  is an answer (empty path), never an exception;
+* **Delta updates** match a from-scratch rebuild edge-for-edge while
+  billing strictly fewer rounds for small dirty sets, and write back only
+  touched artifact rows;
+* the **fault seam** carries PR 6's no-silent-wrong-answers invariant
+  across the build/serve boundary: degraded builds are recorded in the
+  manifest and refuse to serve.
+
+The asyncio server tests are marked ``serve`` and excluded from the fast
+lane (run with ``-m serve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.semirings import MAX_MIN, MIN_PLUS
+from repro.constants import INF
+from repro.engine import EngineSession, make_clique
+from repro.errors import FaultToleranceExceeded, NegativeCycleError
+from repro.faults import FaultPlan
+from repro.graphs import (
+    apsp_reference,
+    random_weighted_digraph,
+    random_weighted_graph,
+)
+from repro.runtime import pad_matrix
+from repro.serve import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    BatchingServer,
+    ClosureArtifact,
+    QueryEngine,
+    RoutingCycleError,
+    apply_edge_updates,
+    graph_fingerprint,
+)
+from repro.serve.app import request_line
+from repro.serve.artifact import MANIFEST_NAME
+
+nx = pytest.importorskip("networkx", reason="NetworkX oracle unavailable")
+
+
+# --------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------- #
+
+
+def _session(n: int, engine: str = "semiring", **clique_kwargs) -> EngineSession:
+    clique = make_clique(n, engine, **clique_kwargs)
+    return EngineSession(clique, engine, MIN_PLUS)
+
+
+def _build(
+    tmp_path,
+    n: int = 16,
+    p: float = 0.3,
+    seed: int = 3,
+    *,
+    directed: bool = False,
+    max_weight: int = 30,
+    name: str = "artifact",
+    engine: str = "semiring",
+):
+    maker = random_weighted_digraph if directed else random_weighted_graph
+    graph = maker(n, p, max_weight=max_weight, seed=seed)
+    session = _session(n, engine)
+    artifact = ClosureArtifact.build(session, graph, tmp_path / name)
+    return graph, session, artifact
+
+
+def _nx_graph(graph):
+    g = nx.DiGraph() if graph.directed else nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    w = graph.weight_matrix()
+    rows, cols = np.nonzero(graph.adjacency)
+    for u, v in zip(rows, cols):
+        g.add_edge(int(u), int(v), weight=int(w[u, v]))
+    return g
+
+
+def _assert_valid_path(graph, weights, u, v, dist, path):
+    """The satellite invariant: weight(path) == closure distance, edges real."""
+    if dist >= INF:
+        assert path == []
+        return
+    if u == v:
+        assert path == [u]
+        return
+    assert path[0] == u and path[-1] == v
+    total = 0
+    for a, b in zip(path, path[1:]):
+        assert weights[a, b] < INF, (a, b)
+        total += int(weights[a, b])
+    assert total == dist
+
+
+# --------------------------------------------------------------------- #
+# Artifacts: build / open / refuse
+# --------------------------------------------------------------------- #
+
+
+class TestArtifact:
+    def test_roundtrip_matches_reference(self, tmp_path):
+        graph, _, artifact = _build(tmp_path, n=18, p=0.3, seed=7)
+        assert np.array_equal(artifact.dist, apsp_reference(graph))
+        assert artifact.n == 18
+        assert artifact.generation == 0
+        assert artifact.rounds > 0
+        assert artifact.graph_hash == graph_fingerprint(graph)
+        assert np.array_equal(artifact.weights, graph.weight_matrix())
+        # On-disk routing convention: diagonal is -1, entries are in-range.
+        diag = np.diagonal(artifact.next_hop)
+        assert np.all(diag == -1)
+
+    def test_open_is_readonly_memmap(self, tmp_path):
+        _, _, artifact = _build(tmp_path, n=10)
+        reopened = ClosureArtifact.open(artifact.path)
+        assert isinstance(reopened.dist, np.memmap)
+        assert not reopened.writable
+        with pytest.raises(ValueError):
+            reopened.dist[0, 0] = 1  # read-only mapping
+
+    def test_expect_graph_accepts_and_refuses(self, tmp_path):
+        graph, _, artifact = _build(tmp_path, n=12, seed=1)
+        ClosureArtifact.open(artifact.path, expect_graph=graph)
+        other = random_weighted_graph(12, 0.3, max_weight=30, seed=2)
+        with pytest.raises(ArtifactError, match="graph hash mismatch"):
+            ClosureArtifact.open(artifact.path, expect_graph=other)
+
+    def test_refuses_foreign_and_newer_manifests(self, tmp_path):
+        _, _, artifact = _build(tmp_path, n=8)
+        manifest_path = artifact.path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+
+        manifest["version"] = ARTIFACT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="version"):
+            ClosureArtifact.open(artifact.path)
+
+        manifest["version"] = ARTIFACT_VERSION
+        manifest["format"] = "something-else"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="not a closure artifact"):
+            ClosureArtifact.open(artifact.path)
+
+        manifest_path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="unreadable"):
+            ClosureArtifact.open(artifact.path)
+
+        manifest_path.unlink()
+        with pytest.raises(ArtifactError, match="no artifact manifest"):
+            ClosureArtifact.open(artifact.path)
+
+    def test_refuses_truncated_block(self, tmp_path):
+        _, _, artifact = _build(tmp_path, n=8)
+        block = artifact.path / "dist.bin"
+        block.write_bytes(block.read_bytes()[:-8])
+        with pytest.raises(ArtifactError, match="bytes"):
+            ClosureArtifact.open(artifact.path)
+
+    def test_verify_hash_catches_tampered_weights(self, tmp_path):
+        _, _, artifact = _build(tmp_path, n=8)
+        ClosureArtifact.open(artifact.path, verify_hash=True)
+        block = artifact.path / "weights.bin"
+        raw = bytearray(block.read_bytes())
+        raw[8] ^= 0xFF
+        block.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactError, match="does not match"):
+            ClosureArtifact.open(artifact.path, verify_hash=True)
+
+    def test_build_refuses_undersized_session(self, tmp_path):
+        graph = random_weighted_graph(16, 0.3, max_weight=10, seed=0)
+        session = _session(8)
+        with pytest.raises(ValueError, match="too small"):
+            ClosureArtifact.build(session, graph, tmp_path / "a")
+
+    def test_build_detects_negative_cycle(self, tmp_path):
+        graph = random_weighted_graph(8, 0.9, max_weight=10, seed=4)
+        graph.weights[graph.adjacency == 1] = -1  # any cycle is negative
+        with pytest.raises(NegativeCycleError):
+            ClosureArtifact.build(_session(8), graph, tmp_path / "neg")
+
+    def test_directed_artifact(self, tmp_path):
+        graph, _, artifact = _build(tmp_path, n=14, p=0.25, seed=9, directed=True)
+        assert artifact.directed
+        assert np.array_equal(artifact.dist, apsp_reference(graph))
+
+
+# --------------------------------------------------------------------- #
+# The fault seam across the build/serve boundary
+# --------------------------------------------------------------------- #
+
+
+class TestFaultSeam:
+    def test_protected_build_embeds_fault_summary(self, tmp_path):
+        graph = random_weighted_graph(12, 0.3, max_weight=20, seed=6)
+        plan = FaultPlan(t=1, seed=11)
+        session = _session(12, fault_plan=plan, fault_tolerance=1)
+        artifact = ClosureArtifact.build(session, graph, tmp_path / "robust")
+        faults = artifact.manifest["faults"]
+        assert faults["protected"] is True
+        assert faults["t"] == 1
+        assert faults["copies"] == 3  # 2T + 1 replicas
+        assert faults["abstract_rounds"] <= artifact.rounds
+        # Robustness is invisible in the values: same closure as fault-free.
+        assert np.array_equal(artifact.dist, apsp_reference(graph))
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_unprotected_faulted_build_degrades_and_refuses(self, tmp_path, seed):
+        """Property: whenever the adversary lands a fault on an unprotected
+        build, the artifact is marked degraded and every open refuses it."""
+        graph = random_weighted_graph(10, 0.5, max_weight=20, seed=seed)
+        plan = FaultPlan(t=2, seed=seed)
+        session = _session(10, fault_plan=plan)
+        path = tmp_path / f"faulty-{seed}"
+        try:
+            artifact = ClosureArtifact.build(session, graph, path)
+        except Exception:
+            # Whether the corruption surfaced as FaultToleranceExceeded or
+            # crashed the closure outright, the manifest records it.
+            manifest = json.loads((path / MANIFEST_NAME).read_text())
+            assert manifest["status"] == "degraded"
+            assert manifest["faults"]["injected"] > 0
+            assert not manifest["faults"]["protected"]
+            with pytest.raises(FaultToleranceExceeded, match="refuses to serve"):
+                ClosureArtifact.open(path)
+        else:
+            # The adversary happened to miss every exchange: values stand.
+            assert artifact.manifest["faults"]["injected"] == 0
+            assert np.array_equal(artifact.dist, apsp_reference(graph))
+
+    def test_exceeded_tolerance_writes_degraded_manifest(self, tmp_path):
+        graph = random_weighted_graph(16, 0.4, max_weight=20, seed=2)
+        plan = FaultPlan(t=5, seed=3)
+        session = _session(16, fault_plan=plan, fault_tolerance=1)
+        path = tmp_path / "degraded"
+        with pytest.raises(FaultToleranceExceeded):
+            ClosureArtifact.build(session, graph, path)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        assert manifest["status"] == "degraded"
+        with pytest.raises(FaultToleranceExceeded, match="degraded"):
+            ClosureArtifact.open(path)
+        with pytest.raises(FaultToleranceExceeded):
+            # Even a writable open (the delta path) must refuse.
+            ClosureArtifact.open(path, writable=True)
+
+
+# --------------------------------------------------------------------- #
+# Queries: paths pinned to closure distances and the NetworkX oracle
+# --------------------------------------------------------------------- #
+
+
+class TestQueries:
+    @pytest.mark.parametrize(
+        "n,p,seed",
+        [
+            (16, 0.05, 0),  # sparse: most pairs disconnected
+            (16, 0.15, 1),
+            (20, 0.4, 2),
+            (14, 0.8, 3),
+        ],
+    )
+    def test_all_pairs_paths_match_networkx(self, tmp_path, n, p, seed):
+        graph, _, artifact = _build(tmp_path, n=n, p=p, seed=seed)
+        engine = QueryEngine(artifact)
+        oracle = _nx_graph(graph)
+        weights = graph.weight_matrix()
+        lengths = dict(nx.all_pairs_dijkstra_path_length(oracle))
+        for u in range(n):
+            for v in range(n):
+                dist = engine.dist(u, v)
+                path = engine.path(u, v)
+                if v not in lengths[u]:
+                    # Disconnected: INF is an answer, not an exception.
+                    assert dist >= INF
+                    assert path == []
+                    continue
+                assert dist == lengths[u][v]
+                _assert_valid_path(graph, weights, u, v, dist, path)
+
+    def test_directed_paths_respect_orientation(self, tmp_path):
+        graph, _, artifact = _build(
+            tmp_path, n=14, p=0.2, seed=5, directed=True
+        )
+        engine = QueryEngine(artifact)
+        oracle = _nx_graph(graph)
+        weights = graph.weight_matrix()
+        lengths = dict(nx.all_pairs_dijkstra_path_length(oracle))
+        for u in range(14):
+            for v in range(14):
+                dist = engine.dist(u, v)
+                path = engine.path(u, v)
+                if v not in lengths[u]:
+                    assert dist >= INF and path == []
+                else:
+                    assert dist == lengths[u][v]
+                    _assert_valid_path(graph, weights, u, v, dist, path)
+
+    def test_batches_match_point_queries(self, tmp_path):
+        graph, _, artifact = _build(tmp_path, n=16, p=0.2, seed=8)
+        engine = QueryEngine(artifact)
+        rng = np.random.default_rng(8)
+        us = rng.integers(0, 16, 300)
+        vs = rng.integers(0, 16, 300)
+        dists = engine.dist_batch(us, vs)
+        paths = engine.path_batch(us, vs)
+        for u, v, d, path in zip(us, vs, dists, paths):
+            assert int(d) == engine.dist(int(u), int(v))
+            assert path == engine.path(int(u), int(v))
+        eccs = engine.ecc_batch(np.arange(16))
+        for u in range(16):
+            assert int(eccs[u]) == engine.ecc(u)
+            assert np.array_equal(engine.row(u), np.array(artifact.dist[u]))
+
+    def test_bounds_and_shape_validation(self, tmp_path):
+        _, _, artifact = _build(tmp_path, n=8)
+        engine = QueryEngine(artifact)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.dist(0, 8)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.path(-1, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.ecc(99)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.dist_batch(np.array([0, 8]), np.array([1, 2]))
+        with pytest.raises(ValueError, match="equal-length"):
+            engine.dist_batch(np.array([0, 1]), np.array([1]))
+        with pytest.raises(ValueError, match="out of range"):
+            engine.ecc_batch(np.array([-3]))
+
+    def test_corrupt_routing_table_fails_loudly(self, tmp_path):
+        _, _, artifact = _build(tmp_path, n=10, p=0.6, seed=4)
+        writable = ClosureArtifact.open(artifact.path, writable=True)
+        finite = np.argwhere(
+            (np.array(writable.dist) < INF)
+            & ~np.eye(10, dtype=bool)
+        )
+        u, v = (int(x) for x in finite[0])
+        writable.next_hop[u, v] = u  # self-loop: the chase never advances
+        writable.next_hop.flush()
+        engine = QueryEngine(ClosureArtifact.open(artifact.path))
+        with pytest.raises(RoutingCycleError, match="exceeded"):
+            engine.path(u, v)
+        with pytest.raises(RoutingCycleError):
+            engine.path_batch(np.array([u]), np.array([v]))
+        writable.next_hop[u, v] = -1  # dead end mid-chase
+        writable.next_hop.flush()
+        engine = QueryEngine(ClosureArtifact.open(artifact.path))
+        with pytest.raises(RoutingCycleError, match="dead-end"):
+            engine.path(u, v)
+
+
+# --------------------------------------------------------------------- #
+# Delta maintenance: dirty strips == full rebuild, fewer rounds
+# --------------------------------------------------------------------- #
+
+
+def _closed_session(graph):
+    """A session with the graph's closure resident, plus its padded weights."""
+    session = _session(graph.n)
+    weights = pad_matrix(graph.weight_matrix(), session.n, fill=INF)
+    session.seed_resident(weights)
+    session.resident_closure()
+    return session, weights
+
+
+def _random_decreases(rng, graph, weights, k):
+    """k random decreases/insertions (u, v, w') against current weights."""
+    n = graph.n
+    updates = []
+    while len(updates) < k:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u == v:
+            continue
+        current = int(weights[u, v])
+        new = int(rng.integers(1, 10)) if current >= INF else max(
+            1, current - int(rng.integers(1, max(2, current)))
+        )
+        if new >= current:
+            continue
+        updates.append((u, v, new))
+    return updates
+
+
+def _chase(dist, hops, u, v, n):
+    """Reconstruct a path from working-convention resident arrays."""
+    if u == v:
+        return [u]
+    if dist[u, v] >= INF:
+        return []
+    path = [u]
+    cur = u
+    for _ in range(n):
+        cur = int(hops[cur, v])
+        path.append(cur)
+        if cur == v:
+            return path
+    raise AssertionError(f"chase {u}->{v} did not terminate")
+
+
+class TestDelta:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_delta_equals_rebuild_with_fewer_rounds(self, seed):
+        """The acceptance property: k <= 8 updated edges maintained by the
+        dirty-strip arm produce the identical closure (values *and* valid
+        routing) as a from-scratch rebuild, in strictly fewer rounds."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.choice([12, 16]))
+        graph = random_weighted_graph(
+            n, float(rng.choice([0.2, 0.4])), max_weight=30, seed=seed
+        )
+        k = int(rng.integers(1, 9))
+
+        fast, weights_fast = _closed_session(graph)
+        slow, weights_slow = _closed_session(graph)
+        updates = _random_decreases(rng, graph, weights_fast, k)
+
+        delta = apply_edge_updates(fast, weights_fast, updates)
+        rebuild = apply_edge_updates(
+            slow, weights_slow, updates, force_rebuild=True
+        )
+        assert delta.mode == "delta"
+        assert rebuild.mode == "rebuild"
+        assert rebuild.rebuild_reason == "forced"
+        assert np.array_equal(weights_fast, weights_slow)
+        # Edge-for-edge identical closure values...
+        assert np.array_equal(fast.resident.dist, slow.resident.dist)
+        # ...reached in strictly fewer rounds for a small dirty set.
+        assert delta.rounds < rebuild.rounds
+        assert delta.dirty <= 2 * k
+        # The maintained routing table reconstructs consistent paths.
+        dist = fast.resident.dist
+        hops = fast.resident.next_hop
+        for u in range(n):
+            for v in range(n):
+                path = _chase(dist, hops, u, v, fast.n)
+                if not path:
+                    continue
+                total = sum(
+                    int(weights_fast[a, b]) for a, b in zip(path, path[1:])
+                )
+                assert total == int(dist[u, v]), (u, v, path)
+
+    def test_increase_falls_back_to_rebuild(self, tmp_path):
+        graph = random_weighted_graph(12, 0.5, max_weight=20, seed=3)
+        session, weights = _closed_session(graph)
+        edges = np.argwhere(graph.adjacency)
+        u, v = (int(x) for x in edges[0])
+        report = apply_edge_updates(
+            session, weights, [(u, v, int(weights[u, v]) + 5)]
+        )
+        assert report.mode == "rebuild"
+        assert "increase" in report.rebuild_reason
+        # The rebuilt closure equals the oracle of the updated graph.
+        graph.weights[u, v] = graph.weights[v, u] = graph.weights[u, v] + 5
+        assert np.array_equal(
+            session.resident.dist[:12, :12], apsp_reference(graph)
+        )
+
+    def test_deletion_falls_back_to_rebuild(self):
+        graph = random_weighted_graph(10, 0.6, max_weight=15, seed=6)
+        session, weights = _closed_session(graph)
+        edges = np.argwhere(graph.adjacency)
+        u, v = (int(x) for x in edges[0])
+        report = apply_edge_updates(session, weights, [(u, v, INF)])
+        assert report.mode == "rebuild"
+        graph.adjacency[u, v] = graph.adjacency[v, u] = 0
+        assert np.array_equal(
+            session.resident.dist[:10, :10], apsp_reference(graph)
+        )
+
+    def test_negative_cycle_rejected_before_mutation(self):
+        graph = random_weighted_graph(10, 0.5, max_weight=15, seed=7)
+        session, weights = _closed_session(graph)
+        before = session.resident.dist.copy()
+        hops_before = session.resident.next_hop.copy()
+        with pytest.raises(NegativeCycleError):
+            # An undirected negative edge is a negative 2-cycle.
+            apply_edge_updates(session, weights, [(0, 1, -5)])
+        assert np.array_equal(session.resident.dist, before)
+        assert np.array_equal(session.resident.next_hop, hops_before)
+
+    def test_update_validation(self):
+        graph = random_weighted_graph(8, 0.5, max_weight=10, seed=8)
+        session, weights = _closed_session(graph)
+        with pytest.raises(ValueError, match="self-loop"):
+            apply_edge_updates(session, weights, [(2, 2, 1)])
+        with pytest.raises(ValueError, match="out of range"):
+            apply_edge_updates(session, weights, [(0, 99, 1)])
+        with pytest.raises(ValueError, match="triple"):
+            apply_edge_updates(session, weights, [(0, 1)])
+        with pytest.raises(ValueError, match="no edge updates"):
+            apply_edge_updates(session, weights, [])
+        with pytest.raises(ValueError, match="padded"):
+            apply_edge_updates(session, weights[:4, :4], [(0, 1, 1)])
+        session.drop_resident()
+        with pytest.raises(RuntimeError, match="resident"):
+            apply_edge_updates(session, weights, [(0, 1, 1)])
+
+    def test_wrong_algebra_rejected(self):
+        clique = make_clique(8, "semiring")
+        session = EngineSession(clique, "semiring", MAX_MIN)
+        session.seed_resident(np.zeros((session.n, session.n), dtype=np.int64))
+        with pytest.raises(ValueError, match="min-plus"):
+            apply_edge_updates(
+                session,
+                np.zeros((session.n, session.n), dtype=np.int64),
+                [(0, 1, 1)],
+            )
+
+    def test_artifact_commit_roundtrip(self, tmp_path):
+        """Delta write-back: only touched rows rewritten, generation bumped,
+        and the reopened artifact equals a from-scratch build of the
+        updated graph (including the recomputed graph hash)."""
+        graph, _, artifact = _build(tmp_path, n=14, p=0.3, seed=10)
+        writable = ClosureArtifact.open(artifact.path, writable=True)
+
+        session = _session(14)
+        dist, hops = writable.resident_arrays(session.n)
+        session.seed_resident(dist, next_hop=hops)
+        weights = writable.padded_weights(session.n)
+
+        rng = np.random.default_rng(10)
+        updates = _random_decreases(rng, graph, weights, 4)
+        report = apply_edge_updates(
+            session, weights, updates, artifact=writable
+        )
+        assert report.mode == "delta"
+        assert report.generation == 1
+
+        reopened = ClosureArtifact.open(artifact.path, verify_hash=True)
+        assert reopened.generation == 1
+        assert reopened.manifest["last_update"]["mode"] == "delta"
+        assert reopened.rounds == artifact.rounds + report.rounds
+
+        # Oracle: rebuild the updated graph from scratch.
+        for u, v, w in updates:
+            graph.adjacency[u, v] = graph.adjacency[v, u] = 1
+            graph.weights[u, v] = graph.weights[v, u] = w
+        fresh_session = _session(14)
+        fresh = ClosureArtifact.build(fresh_session, graph, tmp_path / "fresh")
+        assert np.array_equal(reopened.dist, fresh.dist)
+        assert np.array_equal(reopened.weights, fresh.weights)
+        assert reopened.graph_hash == fresh.graph_hash
+        # Paths served from the updated artifact are valid at new weights.
+        engine = QueryEngine(reopened)
+        w = graph.weight_matrix()
+        for u in range(14):
+            for v in range(14):
+                _assert_valid_path(
+                    graph, w, u, v, engine.dist(u, v), engine.path(u, v)
+                )
+
+    def test_commit_requires_writable(self, tmp_path):
+        graph, _, artifact = _build(tmp_path, n=8, p=0.5, seed=11)
+        session = _session(8)
+        dist, hops = artifact.resident_arrays(session.n)
+        session.seed_resident(dist, next_hop=hops)
+        weights = artifact.padded_weights(session.n)
+        with pytest.raises(ArtifactError, match="read-only"):
+            apply_edge_updates(
+                session, weights, [(0, 1, 1)], artifact=artifact
+            )
+
+
+# --------------------------------------------------------------------- #
+# The batching server (serve lane: excluded from the fast lane)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.serve
+class TestBatchingServer:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        graph, _, artifact = _build(tmp_path, n=12, p=0.3, seed=13)
+        return graph, QueryEngine(artifact)
+
+    def test_protocol_answers_match_engine(self, served):
+        graph, engine = served
+
+        async def scenario():
+            server = BatchingServer(engine, window=0.002)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for u in range(graph.n):
+                    for v in range(0, graph.n, 3):
+                        reply = await request_line(
+                            reader, writer, {"op": "dist", "u": u, "v": v}
+                        )
+                        want = engine.dist(u, v)
+                        assert reply["ok"]
+                        assert reply["dist"] == (
+                            None if want >= INF else want
+                        )
+                        reply = await request_line(
+                            reader,
+                            writer,
+                            {"op": "path", "u": u, "v": v, "id": 7},
+                        )
+                        assert reply["ok"] and reply["id"] == 7
+                        assert reply["path"] == engine.path(u, v)
+                reply = await request_line(
+                    reader, writer, {"op": "ecc", "u": 0}
+                )
+                want = engine.ecc(0)
+                assert reply["ecc"] == (None if want >= INF else want)
+                reply = await request_line(reader, writer, {"op": "stats"})
+                assert reply["stats"]["requests"] > 0
+            finally:
+                writer.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+    def test_concurrent_clients_are_batched(self, served):
+        graph, engine = served
+
+        async def client(host, port, seed):
+            rng = np.random.default_rng(seed)
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for _ in range(20):
+                    u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+                    reply = await request_line(
+                        reader, writer, {"op": "dist", "u": u, "v": v}
+                    )
+                    want = engine.dist(u, v)
+                    assert reply["dist"] == (None if want >= INF else want)
+            finally:
+                writer.close()
+
+        async def scenario():
+            server = BatchingServer(engine, window=0.01)
+            host, port = await server.start()
+            try:
+                await asyncio.gather(
+                    *(client(host, port, s) for s in range(8))
+                )
+            finally:
+                await server.close()
+            stats = server.stats.as_dict()
+            assert stats["requests"] == 160
+            assert stats["batches"] < stats["requests"]  # batching happened
+            assert stats["largest_batch"] > 1
+
+        asyncio.run(scenario())
+
+    def test_error_responses(self, served):
+        _, engine = served
+
+        async def scenario():
+            server = BatchingServer(engine, window=0.001)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert not reply["ok"] and "bad JSON" in reply["error"]
+
+                reply = await request_line(reader, writer, {"op": "nope"})
+                assert not reply["ok"] and "unknown op" in reply["error"]
+
+                reply = await request_line(
+                    reader, writer, {"op": "dist", "u": 0, "v": 999}
+                )
+                assert not reply["ok"] and "out of range" in reply["error"]
+
+                reply = await request_line(reader, writer, {"op": "dist"})
+                assert not reply["ok"]
+            finally:
+                writer.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+    def test_max_requests_sets_done(self, served):
+        _, engine = served
+
+        async def scenario():
+            server = BatchingServer(engine, window=0.001, max_requests=3)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for _ in range(3):
+                    await request_line(
+                        reader, writer, {"op": "dist", "u": 0, "v": 1}
+                    )
+                await asyncio.wait_for(server.done.wait(), timeout=5)
+            finally:
+                writer.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+    def test_load_harness_smoke(self, tmp_path):
+        """The benchmark loader doubles as an integration test."""
+        from benchmarks.load_serve import run_load
+
+        _, _, artifact = _build(tmp_path, n=12, p=0.4, seed=14)
+        result = run_load(
+            artifact.path, clients=4, requests_per_client=25, window=0.002
+        )
+        assert result["requests"] == 100
+        assert result["qps"] > 0
+        assert result["p50_ms"] <= result["p99_ms"]
+        assert result["mean_batch"] >= 1.0
