@@ -540,15 +540,17 @@ def spanning_section(reps: int) -> dict:
 def faults_section(reps: int) -> dict:
     """Encoded-exchange overhead under seeded adversaries (fixed size, gated).
 
-    One min-plus closure (the exact-APSP core) per fault kind on the robust
-    replication-coded collectives, against a seeded in-budget adversary, at
-    one fixed size in every mode.  Every row is verified equal to the
+    One min-plus closure (the exact-APSP core) per scheme x fault kind --
+    ``2t+1``-way replication vs GF(2^16) Reed-Solomon striping, against a
+    seeded in-budget adversary (flip / drop / crash / byzantine), at one
+    fixed size in every mode.  Every row is verified equal to the
     fault-free oracle before anything is timed -- the robustness invariant
     is *no silent wrong answers*, so a row that decodes differently is a
     bug, not a data point.  ``rounds``/``abstract_rounds`` are deterministic
     (the adversary and the relay assignments are pure functions of the
     seeds) and ``bench_check`` gates them for exact equality; the honest
-    redundancy bill is their ratio, ``overhead_factor``.
+    redundancy bill is their ratio, ``overhead_factor``, asserted strictly
+    lower for the coded scheme on every kind.
     """
     from repro.engine.session import EngineSession, make_clique
     from repro.faults import FaultPlan
@@ -575,30 +577,43 @@ def faults_section(reps: int) -> dict:
         "seconds": round(_best_of(lambda: closure(make_clique(n, "semiring")), reps), 4),
     }
 
-    for kind in ("flip", "drop", "crash"):
-        def run_robust(kind=kind):
-            clique = make_clique(
-                n,
-                "semiring",
-                fault_plan=FaultPlan(t=t, seed=0, kind=kind),
-                fault_tolerance=t,
-            )
-            return clique, closure(clique)
+    factors: dict[str, float] = {}
+    for scheme, prefix in (("replicate", "robust"), ("coded", "coded")):
+        for kind in ("flip", "drop", "crash", "byzantine"):
+            def run_encoded(scheme=scheme, kind=kind):
+                clique = make_clique(
+                    n,
+                    "semiring",
+                    fault_plan=FaultPlan(t=t, seed=0, kind=kind),
+                    fault_tolerance=t,
+                    fault_scheme=scheme,
+                )
+                return clique, closure(clique)
 
-        clique, value = run_robust()
-        assert np.array_equal(value, oracle), f"silent corruption ({kind})"
-        assert clique.abstract_meter.rounds == baseline.rounds
-        section[f"robust_closure_{kind}"] = {
-            "n": n,
-            "t": t,
-            "copies": clique.copies,
-            "rounds": clique.meter.rounds,
-            "abstract_rounds": clique.abstract_meter.rounds,
-            "faults_injected": clique.faults_injected,
-            "retries": clique.retries,
-            "overhead_factor": round(clique.overhead_factor, 2),
-            "seconds": round(_best_of(run_robust, reps), 4),
-        }
+            clique, value = run_encoded()
+            assert np.array_equal(value, oracle), (
+                f"silent corruption ({scheme}/{kind})"
+            )
+            assert clique.abstract_meter.rounds == baseline.rounds
+            row = {
+                "n": n,
+                "t": t,
+                "scheme": scheme,
+                "rounds": clique.meter.rounds,
+                "abstract_rounds": clique.abstract_meter.rounds,
+                "faults_injected": clique.faults_injected,
+                "retries": clique.retries,
+                "overhead_factor": round(clique.overhead_factor, 2),
+                "seconds": round(_best_of(run_encoded, reps), 4),
+            }
+            if scheme == "replicate":
+                row["copies"] = clique.copies
+            section[f"{prefix}_closure_{kind}"] = row
+            factors[f"{scheme}/{kind}"] = clique.overhead_factor
+    # The PR 9 acceptance anchor: the RS-striped scheme must be strictly
+    # cheaper than replication on the identical workload and adversary.
+    for kind in ("flip", "drop", "crash", "byzantine"):
+        assert factors[f"coded/{kind}"] < factors[f"replicate/{kind}"], factors
     return section
 
 

@@ -45,8 +45,9 @@ def _make_clique(parser: argparse.ArgumentParser, args: argparse.Namespace, n: i
     local-compute executor (and its kernel tile backend) the engine
     sessions run on.  ``--faults T`` additionally installs a seeded
     adversary corrupting up to ``T`` relay nodes per exchange *and* the
-    replication-coded robust collectives sized to survive it -- the run
-    then either matches the fault-free oracle exactly or dies with
+    encoded robust collectives (``--fault-scheme``: replication or
+    Reed-Solomon striping) sized to survive it -- the run then either
+    matches the fault-free oracle exactly or dies with
     ``FaultToleranceExceeded``, never silently wrong.
 
     Every clique built here is recorded on ``args`` so :func:`main` can
@@ -75,6 +76,7 @@ def _make_clique(parser: argparse.ArgumentParser, args: argparse.Namespace, n: i
             threads=threads,
             fault_plan=fault_plan,
             fault_tolerance=fault_tolerance,
+            fault_scheme=getattr(args, "fault_scheme", "replicate"),
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -88,11 +90,12 @@ def _print_fault_summary(args: argparse.Namespace, clique) -> None:
         return
     print(
         f"faults: kind={args.fault_kind} t={args.faults} "
-        f"seed={args.fault_seed} injected={clique.faults_injected} "
+        f"seed={args.fault_seed} scheme={clique.scheme} "
+        f"injected={clique.faults_injected} "
         f"retries={clique.retries} | encoded rounds={clique.meter.rounds} "
         f"vs abstract {clique.abstract_meter.rounds} "
         f"(overhead {clique.overhead_factor:.2f}x, "
-        f"{clique.copies}-way replication)"
+        f"{clique.redundancy_note()})"
     )
 
 
@@ -515,30 +518,48 @@ def _phases_type(value: str) -> int:
     return phases
 
 
-def _faults_type(value: str) -> int:
-    """Argparse type for ``--faults``: a non-negative adversary budget."""
-    try:
-        faults = int(value)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid fault budget {value!r}")
-    if faults < 0:
-        raise argparse.ArgumentTypeError(
-            f"--faults must be >= 0 corrupt relays per exchange, got {faults}"
-        )
-    return faults
+def _nonneg_fault_int(flag: str, noun: str):
+    """Argparse type factory for the non-negative fault integers.
+
+    Same parse-time treatment as ``--shards``: a value that can never be
+    valid (negative budget, tolerance, or seed) dies as a usage error in
+    every subcommand, not as a traceback deep inside an exchange.
+    """
+
+    def parse(value: str) -> int:
+        try:
+            parsed = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"invalid {noun} {value!r}")
+        if parsed < 0:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be >= 0 ({noun}), got {parsed}"
+            )
+        return parsed
+
+    return parse
+
+
+_faults_type = _nonneg_fault_int("--faults", "corrupt relays per exchange")
+_fault_tolerance_type = _nonneg_fault_int(
+    "--fault-tolerance", "tolerated corrupt relays"
+)
+_fault_seed_type = _nonneg_fault_int("--fault-seed", "adversary seed")
 
 
 def _add_fault_flags(p: argparse.ArgumentParser) -> None:
-    """The ``--faults`` / ``--fault-seed`` / ``--fault-kind`` trio.
+    """The ``--faults`` / ``--fault-scheme`` / ``--fault-seed`` / ``--fault-kind`` group.
 
-    ``--faults T`` runs the workload on the replication-coded robust
-    collectives (``c = 2T + 1`` copies over disjoint relays, supported-
-    majority decode) against a seeded adversary corrupting up to ``T``
-    relay nodes in every array exchange.  The answer is guaranteed to
-    equal the fault-free oracle or the run dies with
-    ``FaultToleranceExceeded`` -- never a silent wrong answer.  The
-    redundancy is billed honestly and reported next to the abstract
-    (fault-free) meter.
+    ``--faults T`` runs the workload on encoded robust collectives against
+    a seeded adversary corrupting up to ``T`` relay nodes in every array
+    exchange.  ``--fault-scheme`` picks the code: ``replicate`` ships
+    ``2T + 1`` copies over disjoint relays (supported-majority decode);
+    ``coded`` stripes each piece as ``k`` data + ``2T`` Reed-Solomon
+    parity stripes over GF(2^16), dropping the overhead from ``2T + 1``
+    toward ``n / (n - 2T)``.  Either way the answer is guaranteed to equal
+    the fault-free oracle or the run dies with ``FaultToleranceExceeded``
+    -- never a silent wrong answer.  The redundancy is billed honestly and
+    reported next to the abstract (fault-free) meter.
     """
     p.add_argument(
         "--faults",
@@ -546,29 +567,37 @@ def _add_fault_flags(p: argparse.ArgumentParser) -> None:
         default=0,
         metavar="T",
         help="tolerate up to T corrupt relay nodes per exchange via "
-        "(2T+1)-way encoded collectives (default: 0, fault-free model)",
+        "encoded collectives (default: 0, fault-free model)",
     )
     p.add_argument(
         "--fault-tolerance",
-        type=_faults_type,
+        type=_fault_tolerance_type,
         default=0,
         metavar="T",
-        help="size the replication code for T corrupt relays instead of "
-        "matching --faults; under-provisioning (T < --faults) demos the "
+        help="size the code for T corrupt relays instead of matching "
+        "--faults; under-provisioning (T < --faults) demos the "
         "detect-retry-degrade path (default: match --faults)",
     )
     p.add_argument(
+        "--fault-scheme",
+        choices=["replicate", "coded"],
+        default="replicate",
+        help="redundancy code: (2T+1)-way replication or GF(2^16) "
+        "Reed-Solomon striping (default: %(default)s)",
+    )
+    p.add_argument(
         "--fault-seed",
-        type=int,
+        type=_fault_seed_type,
         default=0,
         help="seed of the deterministic adversary (default: %(default)s)",
     )
     p.add_argument(
         "--fault-kind",
-        choices=["flip", "drop", "crash"],
+        choices=["flip", "drop", "crash", "byzantine"],
         default="flip",
         help="corruption behaviour: word flips, per-exchange message "
-        "drops, or monotone crash-stop (default: %(default)s)",
+        "drops, monotone crash-stop, or a fixed byzantine node set "
+        "corrupting every exchange it relays (default: %(default)s)",
     )
 
 

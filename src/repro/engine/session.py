@@ -117,6 +117,7 @@ def make_clique(
     threads: int = 1,
     fault_plan=None,
     fault_tolerance: int | None = None,
+    fault_scheme: str = "replicate",
 ) -> CongestedClique:
     """A clique sized for an ``n``-node problem under ``method``.
 
@@ -129,23 +130,33 @@ def make_clique(
 
     ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) installs a seeded
     adversary over the array collectives; ``fault_tolerance`` additionally
-    selects the replication-coded robust collectives
-    (:class:`~repro.faults.RobustClique`) sized to survive that many
-    corrupt relays per exchange.  A plan without a tolerance is the
-    *unprotected* wrapper (:class:`~repro.faults.FaultyClique`) -- useful
-    only to demonstrate silent corruption.  With neither, the plain
-    fault-free model is returned, untouched.
+    selects the encoded robust collectives sized to survive that many
+    corrupt relays per exchange, with ``fault_scheme`` choosing the code:
+    ``"replicate"`` (:class:`~repro.faults.RobustClique`, ``2t + 1``
+    copies) or ``"coded"`` (:class:`~repro.faults.CodedClique`,
+    Reed-Solomon striping at overhead toward ``n / (n - 2t)``).  A plan
+    without a tolerance is the *unprotected* wrapper
+    (:class:`~repro.faults.FaultyClique`) -- useful only to demonstrate
+    silent corruption.  With neither, the plain fault-free model is
+    returned, untouched.
     """
     size = required_clique_size(n, method)
     if not 1 <= shards <= size:
         raise ValueError(
             f"shards must be in [1, clique size {size}], got {shards}"
         )
+    from repro.faults import FAULT_SCHEMES
+
+    if fault_scheme not in FAULT_SCHEMES:
+        raise ValueError(
+            f"unknown fault scheme {fault_scheme!r}; choose from "
+            f"{sorted(FAULT_SCHEMES)}"
+        )
     if fault_plan is not None or fault_tolerance is not None:
-        from repro.faults import FaultyClique, RobustClique
+        from repro.faults import FaultyClique
 
         if fault_tolerance is not None:
-            return RobustClique(
+            return FAULT_SCHEMES[fault_scheme](
                 size,
                 plan=fault_plan,
                 tolerance=fault_tolerance,
@@ -691,6 +702,9 @@ def open_session(
     mode: ScheduleMode = ScheduleMode.FAST,
     word_bits: int | None = None,
     packed_closure: bool = True,
+    fault_plan=None,
+    fault_tolerance: int | None = None,
+    fault_scheme: str = "replicate",
 ) -> EngineSession:
     """Build a session (and its clique/executor) for an ``n``-node problem.
 
@@ -705,6 +719,9 @@ def open_session(
         threads: kernel-tile threads per executor (``1`` keeps serial
             tiles); composes with ``shards``.
         packed_closure: see :class:`EngineSession`.
+        fault_plan / fault_tolerance / fault_scheme: see
+            :func:`make_clique` -- only valid when the session builds the
+            clique (an explicit ``clique`` already fixed its fault layer).
     """
     if clique is None:
         clique = make_clique(
@@ -714,6 +731,14 @@ def open_session(
             word_bits=word_bits,
             shards=shards,
             threads=threads,
+            fault_plan=fault_plan,
+            fault_tolerance=fault_tolerance,
+            fault_scheme=fault_scheme,
+        )
+    elif fault_plan is not None or fault_tolerance is not None:
+        raise ValueError(
+            "pass fault_plan/fault_tolerance only when the session builds "
+            "the clique (the given clique already has its fault layer)"
         )
     elif shards != 1 and shards != clique.executor.shards:
         raise ValueError(

@@ -1,39 +1,65 @@
 """Fault injection and encoded-exchange robustness for the collective stack.
 
-The subsystem has three layers (PR 6; see DESIGN.md "Fault model"):
+The subsystem has four layers (PR 6 + PR 9; see DESIGN.md "Fault model"
+and "Coded fault model"):
 
 * :mod:`repro.faults.plan` -- seeded deterministic adversaries
-  (:class:`FaultPlan`): word flips, message drops, crash-stop, corrupting
-  up to ``t`` relay nodes per exchange.
+  (:class:`FaultPlan`): word flips, message drops, crash-stop, and
+  persistent Byzantine nodes, corrupting up to ``t`` relay nodes per
+  exchange.
 * :mod:`repro.faults.injection` -- :class:`FaultyClique`, a pure
   interception wrapper over the array collectives (bit-identical charges
   and contents when no plan is installed).
-* :mod:`repro.faults.protocol` -- :class:`RobustClique`, replication-coded
-  collectives with supported-majority decode
-  (:func:`majority_decode`) and detect-retry-degrade semantics: a robust
-  closure equals the fault-free oracle or raises
-  :class:`FaultToleranceExceeded` -- never a silent wrong answer.
+* :mod:`repro.faults.coding` -- systematic Reed-Solomon striping over
+  GF(2^16): pure-numpy encode, vectorised syndrome certification, erasure
+  and error decoding.
+* :mod:`repro.faults.protocol` -- :class:`EncodedClique` and its two
+  schemes: :class:`RobustClique` (``2t + 1``-way replication with
+  supported-majority decode, :func:`majority_decode`) and
+  :class:`CodedClique` (RS striping, overhead toward ``n / (n - 2t)``),
+  both with detect-retry-degrade semantics: an encoded closure equals the
+  fault-free oracle or raises :class:`FaultToleranceExceeded` -- never a
+  silent wrong answer.
 
 Motivated by the robust Congested Clique compilers of Censor-Hillel et al.
-(arXiv:2508.08740): our collectives move fixed-width records, so a
-replication code over disjoint relay sets drops in without touching the
-algorithms above the session API.
+(arXiv:2508.08740): our collectives move fixed-width records, so both a
+replication code and an error-correcting stripe code over disjoint relay
+sets drop in without touching the algorithms above the session API.
 """
 
 from repro.errors import FaultToleranceExceeded
+from repro.faults.coding import (
+    StripePlan,
+    decode_stripes,
+    encode_stripes,
+    stripe_plan,
+)
 from repro.faults.encoding import majority_decode
 from repro.faults.injection import FaultyClique, corrupt_pieces, flip_masks
 from repro.faults.plan import FaultKind, FaultPlan
-from repro.faults.protocol import MirroredMeter, RobustClique
+from repro.faults.protocol import (
+    FAULT_SCHEMES,
+    CodedClique,
+    EncodedClique,
+    MirroredMeter,
+    RobustClique,
+)
 
 __all__ = [
+    "FAULT_SCHEMES",
     "FaultKind",
     "FaultPlan",
     "FaultyClique",
+    "EncodedClique",
     "RobustClique",
+    "CodedClique",
     "MirroredMeter",
     "FaultToleranceExceeded",
+    "StripePlan",
     "majority_decode",
     "corrupt_pieces",
     "flip_masks",
+    "decode_stripes",
+    "encode_stripes",
+    "stripe_plan",
 ]

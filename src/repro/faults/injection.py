@@ -94,13 +94,13 @@ def corrupt_pieces(
     if not hit.any():
         return blocks, hit, no_drop
     tampered = blocks.copy()
-    if plan.kind is FaultKind.FLIP:
+    if plan.kind in (FaultKind.FLIP, FaultKind.BYZANTINE):
         masks = flip_masks(relays[hit]).reshape((-1,) + (1,) * (blocks.ndim - 1))
         tampered[hit] = (tampered[hit].view(np.uint64) ^ masks.view(np.uint64)).view(
             np.int64
         )
         dropped = no_drop
-    else:  # DROP / CRASH: the copy is lost -- a known erasure.
+    else:  # DROP / CRASH: the piece is lost -- a known erasure.
         tampered[hit] = 0
         dropped = hit.copy()
     return tampered, hit, dropped

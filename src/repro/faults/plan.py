@@ -15,6 +15,11 @@ relayed through up to ``t`` nodes.  Three corruption kinds are modelled:
   through the node is dropped.  Crashes are monotone -- a crashed node never
   comes back -- which is what distinguishes the kind from per-exchange
   ``DROP``.
+* ``BYZANTINE`` -- a fixed seeded set of up to ``t`` nodes corrupts (flips)
+  *every* exchange it relays for the whole execution.  Persistent like
+  crash-stop, value-corrupting like ``FLIP`` -- the regime where naive
+  replication pays its full ``2t + 1`` price on every single exchange and
+  the coded scheme shines.
 
 Everything is a pure function of ``(seed, kind, t, exchange index)`` via
 ``np.random.default_rng`` seed sequences, so a logged seed replays the exact
@@ -37,11 +42,16 @@ class FaultKind(Enum):
     FLIP = "flip"
     DROP = "drop"
     CRASH = "crash"
+    BYZANTINE = "byzantine"
 
 
 #: Seed-sequence salt for the crash draw, fixed so the crash schedule is a
 #: function of the plan seed alone (not of any exchange index).
 _CRASH_SALT = 0xC4A54
+
+#: Salt for the Byzantine-set draw -- distinct from the crash salt so a
+#: shared seed does not make the Byzantine set equal the crash set.
+_BYZANTINE_SALT = 0xB72A2
 
 
 @lru_cache(maxsize=128)
@@ -53,6 +63,13 @@ def _crash_draw(
     nodes = np.sort(rng.choice(n, size=min(t, n), replace=False))
     crash_at = rng.integers(0, crash_window, size=nodes.shape[0])
     return nodes, crash_at
+
+
+@lru_cache(maxsize=128)
+def _byzantine_draw(seed: int, t: int, n: int) -> np.ndarray:
+    """The fixed Byzantine node set -- a function of the plan seed alone."""
+    rng = np.random.default_rng((seed, _BYZANTINE_SALT))
+    return np.sort(rng.choice(n, size=min(t, n), replace=False))
 
 
 @dataclass(frozen=True)
@@ -80,6 +97,10 @@ class FaultPlan:
             object.__setattr__(self, "kind", FaultKind(self.kind))
         if self.t < 0:
             raise ValueError(f"fault budget must be non-negative, got {self.t}")
+        if self.seed < 0:
+            # np.random.default_rng rejects negative seed-sequence entries
+            # deep inside an exchange; refuse at construction instead.
+            raise ValueError(f"fault seed must be non-negative, got {self.seed}")
         if self.crash_window < 1:
             raise ValueError(
                 f"crash window must be positive, got {self.crash_window}"
@@ -89,6 +110,7 @@ class FaultPlan:
         """The (sorted) corrupt relay set for one exchange.
 
         ``FLIP``/``DROP`` redraw the set per exchange (a mobile adversary);
+        ``BYZANTINE`` returns the same fixed node set for every exchange;
         ``CRASH`` returns the fixed nodes whose crash time has passed, so
         the set is monotone non-decreasing in ``exchange_id``.
         """
@@ -97,6 +119,10 @@ class FaultPlan:
         if self.kind is FaultKind.CRASH:
             nodes, crash_at = _crash_draw(self.seed, self.t, n, self.crash_window)
             return nodes[crash_at <= exchange_id].astype(np.int64, copy=True)
+        if self.kind is FaultKind.BYZANTINE:
+            return _byzantine_draw(self.seed, self.t, n).astype(
+                np.int64, copy=True
+            )
         rng = np.random.default_rng((self.seed, exchange_id))
         return np.sort(rng.choice(n, size=min(self.t, n), replace=False)).astype(
             np.int64

@@ -214,3 +214,93 @@ class TestFaultFlags:
         assert main(["apsp", "16", "--faults", "2", "--fault-seed", "11"]) == 0
         out = capsys.readouterr().out
         assert "exact match with Floyd-Warshall oracle: True" in out
+
+
+class TestFaultFlagValidationSweep:
+    """PR 9 satellite: --fault-tolerance / --fault-seed validated at parse
+    time across every fault-capable subcommand (the --shards treatment),
+    plus the --fault-scheme / byzantine wiring."""
+
+    FAULT_ARGV = {
+        "matmul": ["matmul", "16"],
+        "apsp": ["apsp", "16"],
+        "mst": ["mst", "14"],
+        "build-artifact": ["build-artifact", "16", "/tmp/pr9-artifact"],
+        "update": ["update", "/tmp/pr9-artifact", "--edge", "0,1,1"],
+    }
+
+    @pytest.mark.parametrize("command", sorted(FAULT_ARGV))
+    @pytest.mark.parametrize(
+        "flag", ["--faults", "--fault-tolerance", "--fault-seed"]
+    )
+    def test_negative_values_rejected_at_parse_time(self, command, flag, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self.FAULT_ARGV[command] + [flag, "-2"])
+        assert f"{flag} must be >= 0" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", sorted(FAULT_ARGV))
+    @pytest.mark.parametrize(
+        "flag", ["--faults", "--fault-tolerance", "--fault-seed"]
+    )
+    def test_non_integer_values_rejected_at_parse_time(self, command, flag, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self.FAULT_ARGV[command] + [flag, "many"])
+        assert "invalid" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", sorted(FAULT_ARGV))
+    def test_scheme_and_byzantine_parse_everywhere(self, command):
+        args = build_parser().parse_args(
+            self.FAULT_ARGV[command]
+            + ["--faults", "1", "--fault-scheme", "coded",
+               "--fault-kind", "byzantine"]
+        )
+        assert args.fault_scheme == "coded"
+        assert args.fault_kind == "byzantine"
+
+    def test_scheme_defaults_to_replicate(self):
+        args = build_parser().parse_args(["apsp", "16"])
+        assert args.fault_scheme == "replicate"
+
+    def test_unknown_scheme_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["apsp", "16", "--fault-scheme", "parrot"])
+        capsys.readouterr()
+
+
+class TestCodedSchemeCli:
+    """The coded scheme end to end at the CLI surface."""
+
+    @pytest.mark.parametrize("kind", ["flip", "drop", "crash", "byzantine"])
+    def test_coded_apsp_matches_oracle(self, kind, capsys):
+        assert main(
+            ["apsp", "16", "--faults", "1", "--fault-scheme", "coded",
+             "--fault-kind", kind]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scheme=coded" in out
+        assert "RS-coded" in out
+        assert "exact match with Floyd-Warshall oracle: True" in out
+
+    def test_coded_under_provisioned_exits_2(self, capsys):
+        code = main(
+            ["apsp", "16", "--faults", "5", "--fault-tolerance", "1",
+             "--fault-scheme", "coded"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "fault tolerance exceeded" in captured.err
+        assert "Reed-Solomon" in captured.err
+
+    def test_coded_overhead_strictly_below_replication(self, capsys):
+        import re
+
+        def factor(out: str) -> float:
+            return float(re.search(r"overhead (\d+\.\d+)x", out).group(1))
+
+        assert main(
+            ["apsp", "16", "--faults", "1", "--fault-scheme", "coded"]
+        ) == 0
+        coded = factor(capsys.readouterr().out)
+        assert main(["apsp", "16", "--faults", "1"]) == 0
+        replicated = factor(capsys.readouterr().out)
+        assert coded < replicated

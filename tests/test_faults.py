@@ -27,18 +27,25 @@ from repro.clique.scheduling import disjoint_relays
 from repro.engine.session import EngineSession, make_clique
 from repro.errors import CliqueModelError, FaultToleranceExceeded
 from repro.faults import (
+    FAULT_SCHEMES,
+    CodedClique,
     FaultKind,
     FaultPlan,
     FaultyClique,
     RobustClique,
     corrupt_pieces,
+    decode_stripes,
+    encode_stripes,
     flip_masks,
     majority_decode,
+    stripe_plan,
 )
 from repro.graphs import apsp_reference, random_weighted_digraph
 from repro.runtime import pad_matrix
 
 ALL_KINDS = ["flip", "drop", "crash"]
+ALL_KINDS_WITH_BYZANTINE = ALL_KINDS + ["byzantine"]
+ALL_SCHEMES = ["replicate", "coded"]
 
 
 # --------------------------------------------------------------------- #
@@ -558,3 +565,432 @@ class TestRobustClosureProperty:
         twin = make_clique(self.N, "semiring")
         _minplus_closure(twin, weights, self.N)
         assert plain.meter.phases == twin.meter.phases
+
+
+# --------------------------------------------------------------------- #
+# Byzantine adversaries (PR 9)
+# --------------------------------------------------------------------- #
+
+
+class TestByzantinePlan:
+    def test_fixed_set_for_every_exchange(self):
+        plan = FaultPlan(t=3, seed=4, kind="byzantine")
+        first = plan.corrupt_nodes(16, 0)
+        assert first.size == 3
+        for e in range(1, 12):
+            assert np.array_equal(plan.corrupt_nodes(16, e), first)
+
+    def test_deterministic_in_seed(self):
+        a = FaultPlan(t=2, seed=7, kind="byzantine").corrupt_nodes(24, 5)
+        b = FaultPlan(t=2, seed=7, kind="byzantine").corrupt_nodes(24, 5)
+        assert np.array_equal(a, b)
+
+    def test_salt_differs_from_crash_draw(self):
+        """A shared seed must not make the Byzantine set equal the crash
+        schedule's node set (independent salts)."""
+        differs = False
+        for seed in range(8):
+            byz = set(
+                int(v)
+                for v in FaultPlan(
+                    t=4, seed=seed, kind="byzantine"
+                ).corrupt_nodes(32, 0)
+            )
+            crash_plan = FaultPlan(t=4, seed=seed, kind="crash", crash_window=1)
+            crash = set(int(v) for v in crash_plan.corrupt_nodes(32, 10**6))
+            if byz != crash:
+                differs = True
+        assert differs
+
+    def test_budget_respected(self):
+        nodes = FaultPlan(t=5, seed=0, kind="byzantine").corrupt_nodes(8, 3)
+        assert nodes.size == 5
+        assert np.unique(nodes).size == nodes.size
+        assert np.all((0 <= nodes) & (nodes < 8))
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan(t=1, seed=-3)
+
+    def test_byzantine_corrupts_values_not_drops(self):
+        """Byzantine relays flip words (arbitrary-value corruption), they
+        do not produce known erasures."""
+        plan = FaultPlan(t=2, seed=0, kind="byzantine")
+        blocks = np.arange(60, dtype=np.int64).reshape(20, 3)
+        tampered, hit, dropped = corrupt_pieces(plan, 0, 10, blocks)
+        assert hit.any()
+        assert not dropped.any()
+        assert not np.array_equal(tampered, blocks)
+
+
+# --------------------------------------------------------------------- #
+# GF(2^16) Reed-Solomon striping (PR 9 tentpole, unit level)
+# --------------------------------------------------------------------- #
+
+
+class TestStripePlan:
+    def test_relay_budget_always_respected(self):
+        for n in (4, 16, 64, 216):
+            for t in (1, 2, 3):
+                if 2 * t + 1 > n:
+                    continue
+                for width in (0, 1, 2, n // 2, n, 3 * n):
+                    plan = stripe_plan(width, n, t)
+                    assert plan.m <= n
+                    assert plan.k + 2 * t == plan.m
+
+    def test_rate_beats_replication_for_wide_pieces(self):
+        for n, t in [(16, 1), (16, 2), (64, 2), (216, 2)]:
+            plan = stripe_plan(n, n, t)
+            coded_words = plan.m * plan.stripe_words
+            assert coded_words < (2 * t + 1) * n, (
+                "striping a width-n piece must ship fewer words than "
+                "replicating it"
+            )
+
+    def test_degenerate_single_word_matches_replication(self):
+        plan = stripe_plan(1, 16, 1)
+        assert plan.k == 1 and plan.m == 3 and plan.stripe_words == 1
+
+    def test_refuses_impossible_budget(self):
+        with pytest.raises(ValueError, match="data stripes"):
+            stripe_plan(8, 4, 2)  # n - 2t = 0
+        with pytest.raises(ValueError, match="tolerance"):
+            stripe_plan(8, 16, 0)
+
+
+class TestStripeCoding:
+    @pytest.mark.parametrize(
+        "n,t,pieces,width",
+        [(16, 1, 7, 16), (16, 2, 5, 16), (64, 2, 6, 64), (16, 1, 3, 1),
+         (16, 2, 4, 2), (12, 1, 5, 40)],
+    )
+    def test_clean_round_trip_is_bit_exact(self, n, t, pieces, width):
+        rng = np.random.default_rng(0)
+        plan = stripe_plan(width, n, t)
+        blocks = rng.integers(-(2**62), 2**62, (pieces, width), dtype=np.int64)
+        stripes = encode_stripes(blocks, plan)
+        decoded, ok = decode_stripes(
+            stripes, np.zeros(pieces * plan.m, dtype=bool), plan
+        )
+        assert ok.all()
+        assert np.array_equal(decoded[:, :width], blocks)
+
+    @pytest.mark.parametrize("t", [1, 2])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_corrects_t_corrupted_stripes(self, t, seed):
+        n, pieces, width = 16, 9, 16
+        rng = np.random.default_rng(seed)
+        plan = stripe_plan(width, n, t)
+        blocks = rng.integers(-(2**62), 2**62, (pieces, width), dtype=np.int64)
+        tam = encode_stripes(blocks, plan).reshape(pieces, plan.m, -1).copy()
+        for i in range(pieces):
+            for j in rng.choice(plan.m, size=t, replace=False):
+                tam[i, j] ^= np.int64(rng.integers(1, 2**62))
+        decoded, ok = decode_stripes(
+            tam.reshape(pieces * plan.m, -1),
+            np.zeros(pieces * plan.m, dtype=bool),
+            plan,
+        )
+        assert ok.all()
+        assert np.array_equal(decoded[:, :width], blocks)
+
+    @pytest.mark.parametrize("t", [1, 2])
+    def test_recovers_2t_known_erasures(self, t):
+        n, pieces, width = 16, 6, 16
+        rng = np.random.default_rng(1)
+        plan = stripe_plan(width, n, t)
+        blocks = rng.integers(-(2**62), 2**62, (pieces, width), dtype=np.int64)
+        tam = encode_stripes(blocks, plan).reshape(pieces, plan.m, -1).copy()
+        dropped = np.zeros((pieces, plan.m), dtype=bool)
+        for i in range(pieces):
+            holes = rng.choice(plan.m, size=2 * t, replace=False)
+            dropped[i, holes] = True
+            tam[i, holes] = 0
+        decoded, ok = decode_stripes(
+            tam.reshape(pieces * plan.m, -1), dropped.reshape(-1), plan
+        )
+        assert ok.all()
+        assert np.array_equal(decoded[:, :width], blocks)
+
+    @pytest.mark.parametrize("t", [1, 2])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_beyond_budget_never_silently_wrong(self, t, seed):
+        """More corruption than the code's distance covers: decoding must
+        flag the piece, never certify a wrong word."""
+        n, pieces, width = 16, 8, 16
+        rng = np.random.default_rng(seed)
+        plan = stripe_plan(width, n, t)
+        blocks = rng.integers(-(2**62), 2**62, (pieces, width), dtype=np.int64)
+        tam = encode_stripes(blocks, plan).reshape(pieces, plan.m, -1).copy()
+        errors = min(2 * t + 1, plan.m)
+        for i in range(pieces):
+            for j in rng.choice(plan.m, size=errors, replace=False):
+                tam[i, j] ^= np.int64(rng.integers(1, 2**62))
+        decoded, ok = decode_stripes(
+            tam.reshape(pieces * plan.m, -1),
+            np.zeros(pieces * plan.m, dtype=bool),
+            plan,
+        )
+        wrong = ~(decoded[:, :width] == blocks).all(axis=1)
+        assert not (ok & wrong).any(), "certified a corrupted piece"
+
+    def test_too_many_erasures_flagged(self):
+        plan = stripe_plan(16, 16, 1)  # 2t = 2 parity stripes
+        blocks = np.arange(3 * 16, dtype=np.int64).reshape(3, 16)
+        stripes = encode_stripes(blocks, plan).reshape(3, plan.m, -1)
+        dropped = np.zeros((3, plan.m), dtype=bool)
+        dropped[:, :3] = True  # 3 erasures > 2t
+        stripes = stripes.copy()
+        stripes[dropped] = 0
+        _, ok = decode_stripes(
+            stripes.reshape(3 * plan.m, -1), dropped.reshape(-1), plan
+        )
+        assert not ok.any()
+
+    def test_zero_width_pieces(self):
+        plan = stripe_plan(0, 16, 1)
+        blocks = np.zeros((4, 0), dtype=np.int64)
+        stripes = encode_stripes(blocks, plan)
+        decoded, ok = decode_stripes(
+            stripes, np.zeros(4 * plan.m, dtype=bool), plan
+        )
+        assert ok.all() and decoded.shape == (4, 0)
+
+
+# --------------------------------------------------------------------- #
+# CodedClique: Reed-Solomon encoded collectives
+# --------------------------------------------------------------------- #
+
+
+class TestCodedCliqueConstruction:
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            CodedClique(8, tolerance=0)
+
+    def test_striping_needs_enough_relays(self):
+        with pytest.raises(CliqueModelError, match="pairwise-distinct relays"):
+            CodedClique(4, tolerance=2)  # needs 2*2+1 = 5 > 4 nodes
+
+    def test_refusal_names_the_budget(self):
+        for cls in (RobustClique, CodedClique):
+            with pytest.raises(CliqueModelError) as excinfo:
+                cls(6, tolerance=3)  # needs 7 relays on 6 nodes
+            message = str(excinfo.value)
+            assert "7" in message and "6" in message, (
+                f"{cls.__name__} refusal must name the relay budget"
+            )
+
+    def test_scheme_registry_and_make_clique(self):
+        assert set(FAULT_SCHEMES) == {"replicate", "coded"}
+        coded = make_clique(8, "naive", fault_tolerance=1, fault_scheme="coded")
+        assert isinstance(coded, CodedClique)
+        assert coded.scheme == "coded"
+        rep = make_clique(8, "naive", fault_tolerance=1)
+        assert isinstance(rep, RobustClique)
+        assert rep.scheme == "replicate"
+        with pytest.raises(ValueError, match="fault scheme"):
+            make_clique(8, "naive", fault_tolerance=1, fault_scheme="carrier")
+
+
+class TestEncodedSchemesInBudget:
+    """Both schemes decode every collective exactly under every in-budget
+    adversary kind, Byzantine included -- the scheme x kind x seed matrix."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("kind", ALL_KINDS_WITH_BYZANTINE)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_collectives_decode_exactly(self, scheme, kind, seed):
+        base = CongestedClique(8)
+        clique = FAULT_SCHEMES[scheme](
+            8, plan=FaultPlan(t=1, seed=seed, kind=kind), tolerance=1
+        )
+        for a, b in zip(_run_collectives(base), _run_collectives(clique)):
+            assert np.array_equal(a, b)
+        assert clique.abstract_meter.phases == base.meter.phases
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_byzantine_adversary_actually_fires(self, scheme):
+        clique = FAULT_SCHEMES[scheme](
+            8, plan=FaultPlan(t=2, seed=0, kind="byzantine"), tolerance=2
+        )
+        base = CongestedClique(8)
+        for a, b in zip(_run_collectives(base), _run_collectives(clique)):
+            assert np.array_equal(a, b)
+        assert clique.faults_injected > 0
+
+    def test_coded_degrade_message_names_certification(self):
+        rng = np.random.default_rng(7)
+        rows = rng.integers(-50, 50, (10, 6), dtype=np.int64)
+        clique = CodedClique(
+            10,
+            plan=FaultPlan(t=4, seed=0, kind="flip"),
+            tolerance=1,
+            max_retries=0,
+        )
+        with pytest.raises(FaultToleranceExceeded, match="Reed-Solomon"):
+            clique.broadcast_rows(rows.copy())
+        assert clique.decode_failures == 1
+
+
+class TestSchemeOverheadComparison:
+    """Acceptance: at t = 1 and t = 2 the coded scheme's overhead factor is
+    strictly below replication's on the same closure workload."""
+
+    N = 16
+
+    @pytest.mark.parametrize("t", [1, 2])
+    def test_coded_strictly_cheaper_than_replication(self, t):
+        graph = random_weighted_digraph(self.N, 0.35, 9, seed=0)
+        weights = graph.weight_matrix()
+        oracle = apsp_reference(graph)
+        factors = {}
+        for scheme in ALL_SCHEMES:
+            clique = make_clique(
+                self.N,
+                "semiring",
+                fault_plan=FaultPlan(t=t, seed=0, kind="flip"),
+                fault_tolerance=t,
+                fault_scheme=scheme,
+            )
+            assert np.array_equal(_minplus_closure(clique, weights, self.N), oracle)
+            assert clique.abstract_meter.rounds > 0
+            factors[scheme] = clique.overhead_factor
+        assert factors["coded"] < factors["replicate"], factors
+        assert factors["replicate"] >= 2 * t + 1 - 0.5  # sanity anchor
+
+
+# --------------------------------------------------------------------- #
+# FaultPlan edge cases (PR 9 satellites)
+# --------------------------------------------------------------------- #
+
+
+class TestFaultPlanEdgeCases:
+    def test_t_zero_plan_is_exact_noop(self):
+        """A t=0 plan through make_clique is bit-identical to the plain
+        model: values, rounds, and per-phase meters."""
+        base = make_clique(8, "naive")
+        nulled = make_clique(8, "naive", fault_plan=FaultPlan(t=0, seed=9))
+        assert type(base) is CongestedClique
+        for a, b in zip(_run_collectives(base), _run_collectives(nulled)):
+            assert np.array_equal(a, b)
+        assert base.meter.phases == nulled.meter.phases
+        assert base.meter.rounds == nulled.meter.rounds
+        assert nulled.faults_injected == 0
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_tolerance_beyond_relays_refused_cleanly(self, scheme):
+        """t >= available relays: construction refuses with the budget in
+        the message, before any exchange is attempted or charged."""
+        with pytest.raises(CliqueModelError, match="pairwise-distinct relays"):
+            FAULT_SCHEMES[scheme](5, tolerance=4)
+
+    def test_crash_schedule_shared_across_sessions(self):
+        """Crash-stop is monotone and a pure function of the plan seed, so
+        multiple sessions sharing one plan agree on who crashed -- and each
+        decodes the oracle answer independently."""
+        plan = FaultPlan(t=2, seed=3, kind="crash", crash_window=4)
+        previous: set[int] = set()
+        for e in range(10):
+            nodes = set(int(v) for v in plan.corrupt_nodes(12, e))
+            assert previous <= nodes
+            previous = nodes
+        assert previous, "the window guarantees every crash bites"
+
+        base = CongestedClique(12)
+        oracle = _run_collectives(base)
+        for scheme in ALL_SCHEMES:
+            for _session_index in range(2):
+                clique = FAULT_SCHEMES[scheme](12, plan=plan, tolerance=2)
+                for a, b in zip(oracle, _run_collectives(clique)):
+                    assert np.array_equal(a, b)
+        # The shared plan's schedule was not mutated by either session.
+        assert set(int(v) for v in plan.corrupt_nodes(12, 9)) == previous
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_fresh_session_overhead_factor_is_one(self, scheme):
+        """Satellite: no exchanges yet -> overhead 1.0, not a zero division."""
+        clique = FAULT_SCHEMES[scheme](8, tolerance=1)
+        assert clique.abstract_meter.rounds == 0
+        assert clique.overhead_factor == 1.0
+
+
+# --------------------------------------------------------------------- #
+# End to end: both schemes, all kinds, no silent wrong answers
+# --------------------------------------------------------------------- #
+
+
+class TestEncodedClosureProperty:
+    N = 16
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        graph = random_weighted_digraph(self.N, 0.35, 9, seed=0)
+        weights = graph.weight_matrix()
+        oracle = apsp_reference(graph)
+        return weights, oracle
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("kind", ALL_KINDS_WITH_BYZANTINE)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_in_budget_closure_equals_oracle(self, workload, scheme, kind, seed):
+        weights, oracle = workload
+        clique = make_clique(
+            self.N,
+            "semiring",
+            fault_plan=FaultPlan(t=1, seed=seed, kind=kind),
+            fault_tolerance=1,
+            fault_scheme=scheme,
+        )
+        assert np.array_equal(_minplus_closure(clique, weights, self.N), oracle)
+        assert clique.faults_injected > 0, "the adversary must have fired"
+        assert clique.decode_failures == 0
+
+    @pytest.mark.parametrize("kind", ALL_KINDS_WITH_BYZANTINE)
+    def test_coded_beyond_budget_never_silently_corrupts(self, workload, kind):
+        """The PR 6 headline sweep, re-run against the coded scheme: an
+        over-budget adversary (t=3 against tolerance 1, no retries) either
+        loses anyway or the run raises.  Wrong answers: zero."""
+        weights, oracle = workload
+        raised = 0
+        for seed in range(6):
+            clique = make_clique(
+                self.N,
+                "semiring",
+                fault_plan=FaultPlan(t=3, seed=seed, kind=kind),
+                fault_tolerance=1,
+                fault_scheme="coded",
+            )
+            clique.max_retries = 0
+            try:
+                result = _minplus_closure(clique, weights, self.N)
+            except FaultToleranceExceeded:
+                raised += 1
+            else:
+                assert np.array_equal(result, oracle), (
+                    f"SILENT CORRUPTION at seed={seed} kind={kind}"
+                )
+        if kind in ("flip", "byzantine"):
+            assert raised > 0, "the sweep should exercise the degrade arm"
+
+
+class TestOpenSessionFaultPassthrough:
+    def test_session_builds_fault_layer(self):
+        from repro.engine.session import open_session
+
+        with open_session(
+            8,
+            "naive",
+            fault_plan=FaultPlan(t=1, seed=0, kind="byzantine"),
+            fault_tolerance=1,
+            fault_scheme="coded",
+        ) as session:
+            assert isinstance(session.clique, CodedClique)
+            assert session.clique.plan.kind is FaultKind.BYZANTINE
+
+    def test_explicit_clique_refuses_fault_args(self):
+        from repro.engine.session import open_session
+
+        clique = CongestedClique(8)
+        with pytest.raises(ValueError, match="fault"):
+            open_session(8, "naive", clique=clique, fault_tolerance=1)

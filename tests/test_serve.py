@@ -217,10 +217,46 @@ class TestFaultSeam:
         faults = artifact.manifest["faults"]
         assert faults["protected"] is True
         assert faults["t"] == 1
+        assert faults["scheme"] == "replicate"
+        assert faults["tolerance"] == 1
         assert faults["copies"] == 3  # 2T + 1 replicas
         assert faults["abstract_rounds"] <= artifact.rounds
         # Robustness is invisible in the values: same closure as fault-free.
         assert np.array_equal(artifact.dist, apsp_reference(graph))
+
+    def test_coded_build_records_scheme_and_tolerance(self, tmp_path):
+        """PR 9: the manifest names the redundancy scheme, so a later
+        reader can audit how a served closure was protected."""
+        graph = random_weighted_graph(12, 0.3, max_weight=20, seed=6)
+        plan = FaultPlan(t=1, seed=11, kind="byzantine")
+        session = _session(
+            12, fault_plan=plan, fault_tolerance=1, fault_scheme="coded"
+        )
+        artifact = ClosureArtifact.build(session, graph, tmp_path / "coded")
+        faults = artifact.manifest["faults"]
+        assert faults["protected"] is True
+        assert faults["scheme"] == "coded"
+        assert faults["tolerance"] == 1
+        assert faults["kind"] == "byzantine"
+        assert faults["abstract_rounds"] <= artifact.rounds
+        assert np.array_equal(artifact.dist, apsp_reference(graph))
+
+    def test_coded_exceeded_tolerance_degrades_and_refuses(self, tmp_path):
+        """The degrade path is scheme-independent: a coded build past its
+        budget writes a degraded manifest and every later open refuses."""
+        graph = random_weighted_graph(16, 0.4, max_weight=20, seed=2)
+        plan = FaultPlan(t=5, seed=3)
+        session = _session(
+            16, fault_plan=plan, fault_tolerance=1, fault_scheme="coded"
+        )
+        path = tmp_path / "coded-degraded"
+        with pytest.raises(FaultToleranceExceeded):
+            ClosureArtifact.build(session, graph, path)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        assert manifest["status"] == "degraded"
+        assert manifest["faults"]["scheme"] == "coded"
+        with pytest.raises(FaultToleranceExceeded, match="degraded"):
+            ClosureArtifact.open(path)
 
     @settings(
         max_examples=6,
