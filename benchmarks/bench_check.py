@@ -89,6 +89,7 @@ SECTIONS = (
     "spanning",
     "faults",
     "serve",
+    "netsim",
     "sessions",
 )
 
@@ -97,6 +98,16 @@ def _compare_row(
     section: str, key: str, base_row: dict, cur_row: dict
 ) -> tuple[str | None, bool]:
     """One (line, failed) verdict for a row pair, or ``(None, False)``."""
+    # Topology is part of a row's identity: a netsim row priced on a ring
+    # and one priced on a fat-tree are different experiments even when
+    # every other field matches, so refuse the comparison explicitly.
+    if base_row.get("topology") != cur_row.get("topology"):
+        return (
+            f"  skip {section}/{key}: topology mismatch "
+            f"(baseline {base_row.get('topology')}, "
+            f"current {cur_row.get('topology')})",
+            False,
+        )
     # Field detection first: rows without a gateable ratio (e.g. the
     # shard-speedup session rows) stay silent, whatever their sizes --
     # unless they carry a deterministic ``rounds`` bill, which is gated for

@@ -617,6 +617,132 @@ def faults_section(reps: int) -> dict:
     return section
 
 
+def netsim_section(reps: int) -> dict:
+    """Network cost model (PR 10): makespan per topology, fixed size (gated).
+
+    The transport meter is a second, purely observational observer on the
+    meter stack, so every row first asserts the invariant that matters:
+    rounds and per-phase meters are *bit-identical* to the no-cost-model
+    baseline on the identical workload.  Three row families:
+
+    * ``closure_<topology>`` -- one min-plus closure (the exact-APSP core)
+      per topology; at equal rounds the alpha-beta makespan must respect
+      the bisection ordering ``full <= fat-tree <= ring``, asserted here
+      and gated by ``bench_check`` (rows carry a ``topology`` field so the
+      gate never compares rows priced on different topologies).
+    * ``relay_placement_ring`` -- the scheduling optimisation: a demand
+      concentrated on a far-side ring cluster, relayed once through the
+      canonical batch-slot intermediates and once through the
+      topology-aware assignment.  Rounds are asserted identical (the
+      assignment is a round-equivalent degree of freedom); the priced
+      makespan must strictly improve.
+    * ``<scheme>_closure_<topology>`` -- the PR 6/9 robust closures with a
+      transport observer attached: the encoded exchanges (not the abstract
+      bill) are priced, so the redundancy gap shows up as wall-clock; the
+      RS-striped scheme must beat replication on every topology.
+    """
+    from repro.engine.session import EngineSession, make_clique
+    from repro.faults import FaultPlan
+    from repro.graphs import apsp_reference, random_weighted_digraph
+    from repro.clique.scheduling import relay_schedule
+    from repro.netsim import CostModelSpec, Ring, schedule_makespan
+    from repro.runtime import pad_matrix
+
+    n, t = 16, 1
+    topologies = ("full", "fat-tree:2", "ring")
+    graph = random_weighted_digraph(n, 0.35, 9, seed=0)
+    weights = graph.weight_matrix()
+    oracle = apsp_reference(graph)
+
+    def closure(clique):
+        session = EngineSession(clique, "semiring", MIN_PLUS)
+        padded = pad_matrix(weights, clique.n, fill=INF)
+        np.fill_diagonal(padded, 0)
+        return session.closure(padded)[:n, :n]
+
+    section: dict[str, dict] = {}
+    baseline = make_clique(n, "semiring")
+    assert np.array_equal(closure(baseline), oracle)
+
+    makespans: dict[str, float] = {}
+    for topology in topologies:
+        def run(topology=topology):
+            clique = make_clique(
+                n, "semiring", cost_model=CostModelSpec(topology)
+            )
+            return clique, closure(clique)
+
+        clique, value = run()
+        # The cost model is observational: answers, rounds and the full
+        # per-phase meter are bit-identical to the uninstrumented run.
+        assert np.array_equal(value, oracle)
+        assert clique.meter.rounds == baseline.meter.rounds
+        assert clique.meter.phases == baseline.meter.phases
+        report = clique.transport.report()
+        makespans[topology] = report.makespan_us
+        section[f"closure_{topology.replace(':', '')}"] = {
+            "n": n,
+            "topology": topology,
+            "rounds": clique.rounds,
+            "makespan_us": round(report.makespan_us, 2),
+            "max_link_utilisation": round(report.max_link_utilisation, 4),
+            "queueing_share": round(report.queueing_share, 4),
+            "seconds": round(_best_of(lambda: run()[0], reps), 4),
+        }
+    # Equal rounds, monotone makespan in bisection order.
+    assert makespans["full"] <= makespans["fat-tree:2"] <= makespans["ring"], (
+        makespans
+    )
+
+    # Relay-placement optimisation: all-to-all among a far-side cluster.
+    ring = Ring(n)
+    demand = {
+        (u, v): 20 for u in (7, 8, 9) for v in (7, 8, 9) if u != v
+    }
+    canonical = relay_schedule(dict(demand), n)
+    placed = relay_schedule(dict(demand), n, ring)
+    assert placed.rounds == canonical.rounds, "placement must not buy rounds"
+    base_us = schedule_makespan(canonical, ring)
+    placed_us = schedule_makespan(placed, ring)
+    assert placed_us < base_us, (base_us, placed_us)
+    section["relay_placement_ring"] = {
+        "n": n,
+        "topology": "ring",
+        "rounds": placed.rounds,
+        "canonical_makespan_us": round(base_us, 2),
+        "placed_makespan_us": round(placed_us, 2),
+        "improvement_factor": round(base_us / placed_us, 2),
+    }
+
+    # Robust closures priced on the wire: the transport observer sees the
+    # actual encoded exchanges, so coded-vs-replicate is a makespan gap too.
+    for topology in topologies:
+        per_scheme: dict[str, float] = {}
+        for scheme in ("replicate", "coded"):
+            clique = make_clique(
+                n,
+                "semiring",
+                fault_plan=FaultPlan(t=t, seed=0, kind="byzantine"),
+                fault_tolerance=t,
+                fault_scheme=scheme,
+                cost_model=CostModelSpec(topology),
+            )
+            assert np.array_equal(closure(clique), oracle)
+            assert clique.abstract_meter.rounds == baseline.meter.rounds
+            per_scheme[scheme] = clique.transport.makespan_us
+            section[f"{scheme}_closure_{topology.replace(':', '')}"] = {
+                "n": n,
+                "t": t,
+                "scheme": scheme,
+                "topology": topology,
+                "rounds": clique.meter.rounds,
+                "abstract_rounds": clique.abstract_meter.rounds,
+                "makespan_us": round(clique.transport.makespan_us, 2),
+            }
+        assert per_scheme["coded"] < per_scheme["replicate"], per_scheme
+    return section
+
+
 def serve_section(reps: int) -> dict:
     """Serving layer (PR 8), fixed sizes in every mode (gateable).
 
@@ -1002,6 +1128,9 @@ def build_report(quick: bool, gate_only: bool = False) -> dict:
     report["faults"] = faults_section(reps)
     # Serving layer (PR 8): fixed sizes, batch speedup + exact round gates.
     report["serve"] = serve_section(reps)
+    # Network cost model (PR 10): fixed size, equal rounds, monotone
+    # makespan ordering across topologies.
+    report["netsim"] = netsim_section(reps)
     if gate_only:
         return report
     report["sessions"] = session_section(

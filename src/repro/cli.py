@@ -68,6 +68,15 @@ def _make_clique(parser: argparse.ArgumentParser, args: argparse.Namespace, n: i
             t=args.faults, seed=args.fault_seed, kind=args.fault_kind
         )
         fault_tolerance = args.fault_tolerance or args.faults
+    cost_model = None
+    if getattr(args, "topology", None):
+        from repro.netsim import CostModelSpec
+
+        cost_model = CostModelSpec(
+            topology=args.topology,
+            link_gbps=args.link_gbps,
+            link_latency_us=args.link_latency_us,
+        )
     try:
         clique = make_clique(
             n,
@@ -77,6 +86,7 @@ def _make_clique(parser: argparse.ArgumentParser, args: argparse.Namespace, n: i
             fault_plan=fault_plan,
             fault_tolerance=fault_tolerance,
             fault_scheme=getattr(args, "fault_scheme", "replicate"),
+            cost_model=cost_model,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -99,6 +109,38 @@ def _print_fault_summary(args: argparse.Namespace, clique) -> None:
     )
 
 
+def _print_completion_report(args: argparse.Namespace, clique) -> None:
+    """The modelled transport completion table for ``--topology`` runs."""
+    transport = getattr(clique, "transport", None)
+    if transport is None or getattr(args, "json", False):
+        return
+    print(transport.report().table())
+
+
+def _print_json_summary(args: argparse.Namespace, clique) -> None:
+    """``--json``: the machine-readable meter/fault/completion payload."""
+    if not getattr(args, "json", False):
+        return
+    import json
+
+    payload = {"n": clique.n, "meter": clique.meter.to_dict()}
+    if getattr(args, "faults", 0):
+        payload["faults"] = {
+            "scheme": clique.scheme,
+            "kind": args.fault_kind,
+            "t": args.faults,
+            "seed": args.fault_seed,
+            "injected": clique.faults_injected,
+            "retries": clique.retries,
+            "overhead_factor": clique.overhead_factor,
+            "abstract_meter": clique.abstract_meter.to_dict(),
+        }
+    transport = getattr(clique, "transport", None)
+    if transport is not None:
+        payload["completion"] = transport.report().to_dict()
+    print(json.dumps(payload))
+
+
 def _cmd_matmul(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.runtime import EngineSession, pad_matrix
 
@@ -111,11 +153,14 @@ def _cmd_matmul(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     sp, tp = pad_matrix(s, clique.n), pad_matrix(t, clique.n)
     product = session.multiply(sp, tp, phase="cli/matmul")
     ok = np.array_equal(product[:n, :n], s @ t)
-    print(f"engine={args.engine} n={n} clique={clique.n} "
-          f"shards={clique.executor.shards} "
-          f"rounds={clique.rounds} correct={ok}")
-    _print_fault_summary(args, clique)
-    print(clique.meter.report())
+    if not getattr(args, "json", False):
+        print(f"engine={args.engine} n={n} clique={clique.n} "
+              f"shards={clique.executor.shards} "
+              f"rounds={clique.rounds} correct={ok}")
+        _print_fault_summary(args, clique)
+        print(clique.meter.report())
+    _print_completion_report(args, clique)
+    _print_json_summary(args, clique)
     return 0 if ok else 1
 
 
@@ -194,9 +239,11 @@ def _cmd_apsp(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     else:
         g = random_weighted_digraph(args.n, 0.35, args.max_weight, seed=args.seed)
         result = apsp_exact(g, method=engine, clique=clique)
-    print(f"APSP variant={args.variant} n={args.n}: {result.rounds} rounds "
-          f"on a {result.clique_size}-node clique")
-    _print_fault_summary(args, clique)
+    json_mode = getattr(args, "json", False)
+    if not json_mode:
+        print(f"APSP variant={args.variant} n={args.n}: {result.rounds} rounds "
+              f"on a {result.clique_size}-node clique")
+        _print_fault_summary(args, clique)
     reference = apsp_reference(g)
     if args.variant == "approx":
         from repro.constants import INF
@@ -205,12 +252,16 @@ def _cmd_apsp(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         ratio = float(
             np.max(result.value[finite] / np.maximum(reference[finite], 1))
         ) if finite.any() else 1.0
-        print(f"measured ratio {ratio:.4f} "
-              f"(bound {result.extras['ratio_bound']:.4f})")
+        if not json_mode:
+            print(f"measured ratio {ratio:.4f} "
+                  f"(bound {result.extras['ratio_bound']:.4f})")
         ok = ratio <= result.extras["ratio_bound"] + 1e-9
     else:
         ok = np.array_equal(result.value, reference)
-        print(f"exact match with Floyd-Warshall oracle: {ok}")
+        if not json_mode:
+            print(f"exact match with Floyd-Warshall oracle: {ok}")
+    _print_completion_report(args, clique)
+    _print_json_summary(args, clique)
     return 0 if ok else 1
 
 
@@ -298,18 +349,21 @@ def _cmd_mst(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     )
     edges, weight = mst_reference(g)
     ok = result.extras["edges"] == edges
-    print(
-        f"G(n={args.n}, p={args.p}) seed={args.seed}: MSF weight "
-        f"{result.extras['weight']} ({len(result.extras['edges'])} edges) "
-        f"in {result.rounds} rounds ({args.engine} engine, clique "
-        f"{result.clique_size}, shards={clique.executor.shards}, "
-        f"{result.extras['phases']} phases, "
-        f"{result.extras['flight_survivors']} F-light survivors)"
-    )
-    print(
-        f"exact match with Kruskal oracle (weight {weight}): {ok}"
-    )
-    _print_fault_summary(args, clique)
+    if not getattr(args, "json", False):
+        print(
+            f"G(n={args.n}, p={args.p}) seed={args.seed}: MSF weight "
+            f"{result.extras['weight']} ({len(result.extras['edges'])} edges) "
+            f"in {result.rounds} rounds ({args.engine} engine, clique "
+            f"{result.clique_size}, shards={clique.executor.shards}, "
+            f"{result.extras['phases']} phases, "
+            f"{result.extras['flight_survivors']} F-light survivors)"
+        )
+        print(
+            f"exact match with Kruskal oracle (weight {weight}): {ok}"
+        )
+        _print_fault_summary(args, clique)
+    _print_completion_report(args, clique)
+    _print_json_summary(args, clique)
     return 0 if ok else 1
 
 
@@ -329,13 +383,16 @@ def _cmd_build_artifact(
     # A degraded build (FaultToleranceExceeded) still writes its refusal
     # manifest, then propagates to main()'s exit-2 path.
     artifact = ClosureArtifact.build(session, g, args.out)
-    print(
-        f"artifact {args.out}: n={artifact.n} clique={clique.n} "
-        f"rounds={artifact.rounds} generation={artifact.generation} "
-        f"graph={artifact.graph_hash[:12]} ({args.engine} engine, "
-        f"shards={clique.executor.shards})"
-    )
-    _print_fault_summary(args, clique)
+    if not getattr(args, "json", False):
+        print(
+            f"artifact {args.out}: n={artifact.n} clique={clique.n} "
+            f"rounds={artifact.rounds} generation={artifact.generation} "
+            f"graph={artifact.graph_hash[:12]} ({args.engine} engine, "
+            f"shards={clique.executor.shards})"
+        )
+        _print_fault_summary(args, clique)
+    _print_completion_report(args, clique)
+    _print_json_summary(args, clique)
     return 0
 
 
@@ -641,6 +698,69 @@ def _add_engine_flags(
     )
 
 
+def _link_gbps_type(value: str) -> float:
+    """Argparse type for ``--link-gbps``: a positive bandwidth."""
+    try:
+        gbps = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid bandwidth {value!r}")
+    if gbps <= 0:
+        raise argparse.ArgumentTypeError(f"--link-gbps must be > 0, got {gbps}")
+    return gbps
+
+
+def _link_latency_type(value: str) -> float:
+    """Argparse type for ``--link-latency-us``: a non-negative delay."""
+    try:
+        latency = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid latency {value!r}")
+    if latency < 0:
+        raise argparse.ArgumentTypeError(
+            f"--link-latency-us must be >= 0, got {latency}"
+        )
+    return latency
+
+
+def _add_netsim_flags(p: argparse.ArgumentParser) -> None:
+    """The ``--topology`` / ``--link-gbps`` / ``--link-latency-us`` group.
+
+    ``--topology`` attaches a transport cost model (:mod:`repro.netsim`)
+    as a second, purely observational meter: the workload's answers,
+    rounds, words and per-phase meters are bit-identical with or without
+    it; the run additionally prints a completion report (per-phase
+    alpha-beta makespan, bottleneck-link utilisation, queueing share) for
+    the chosen topology.  ``--json`` emits the meter + fault + completion
+    summaries as one machine-readable JSON object instead of tables.
+    """
+    p.add_argument(
+        "--topology",
+        default=None,
+        metavar="{full,ring,fat-tree:k}",
+        help="model transport on this topology and print the completion "
+        "report (default: no cost model)",
+    )
+    p.add_argument(
+        "--link-gbps",
+        type=_link_gbps_type,
+        default=100.0,
+        metavar="G",
+        help="modelled per-link bandwidth in Gbit/s (default: %(default)s)",
+    )
+    p.add_argument(
+        "--link-latency-us",
+        type=_link_latency_type,
+        default=1.0,
+        metavar="US",
+        help="modelled per-hop latency in microseconds (default: %(default)s)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the meter/fault/completion summaries as JSON",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -657,6 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("n", type=int)
     _add_engine_flags(p)
     _add_fault_flags(p)
+    _add_netsim_flags(p)
     p.set_defaults(func=_cmd_matmul, parser=p)
 
     p = sub.add_parser("triangles", help="triangle counting on G(n, p)")
@@ -683,6 +804,7 @@ def build_parser() -> argparse.ArgumentParser:
     # unweighted/approx -> bilinear); resolved in _cmd_apsp.
     _add_engine_flags(p, default=None)
     _add_fault_flags(p)
+    _add_netsim_flags(p)
     p.set_defaults(func=_cmd_apsp, parser=p)
 
     p = sub.add_parser("girth", help="girth computation")
@@ -719,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(p, default="semiring")
     _add_fault_flags(p)
+    _add_netsim_flags(p)
     p.set_defaults(func=_cmd_mst, parser=p)
 
     p = sub.add_parser(
@@ -733,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--directed", action="store_true")
     _add_engine_flags(p, default="semiring")
     _add_fault_flags(p)
+    _add_netsim_flags(p)
     p.set_defaults(func=_cmd_build_artifact, parser=p)
 
     p = sub.add_parser(

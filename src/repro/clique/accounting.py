@@ -10,11 +10,30 @@ Every communication primitive charges exactly one :class:`PhaseCost` to the
 meter, so an algorithm's total round count decomposes into a per-phase
 breakdown that mirrors the step structure of the paper's algorithm
 descriptions (e.g. "Step 1: Distributing the entries").
+
+**The meter stack (PR 10).**  Charging is no longer hard-wired to one
+:class:`CostMeter`: the simulator owns a :class:`MeterStack` and every
+charge fans out to all registered *observers*.  An observer is anything
+with an ``observe(cost, traffic)`` method; :class:`CostMeter` itself is
+one (it ignores ``traffic``), and stays observer #0 of every clique so the
+abstract round bill is bit-identical to the pre-stack behaviour.  Further
+observers ride along without touching the primitives: the fault layer's
+abstract (fault-free) meter, and the :mod:`repro.netsim` transport meter,
+which declares ``needs_traffic`` and receives a structured
+:class:`PhaseTraffic` record -- the actual per-piece routing metadata of
+the charged exchange -- next to every cost.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    import numpy as np
+
+    from repro.clique.scheduling import RelaySchedule
 
 
 @dataclass(frozen=True)
@@ -41,6 +60,76 @@ class PhaseCost:
     max_send_words: int
     max_recv_words: int
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable form (plain JSON scalars)."""
+        return {
+            "phase": self.phase,
+            "primitive": self.primitive,
+            "rounds": int(self.rounds),
+            "words": int(self.words),
+            "payloads": int(self.payloads),
+            "max_send_words": int(self.max_send_words),
+            "max_recv_words": int(self.max_recv_words),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PhaseCost":
+        """Inverse of :meth:`to_dict` (round-trip tested)."""
+        return cls(
+            phase=str(data["phase"]),
+            primitive=str(data["primitive"]),
+            rounds=int(data["rounds"]),
+            words=int(data["words"]),
+            payloads=int(data["payloads"]),
+            max_send_words=int(data["max_send_words"]),
+            max_recv_words=int(data["max_recv_words"]),
+        )
+
+
+@dataclass(frozen=True)
+class PhaseTraffic:
+    """Structured routing metadata for one charged phase.
+
+    What the transport cost model (:mod:`repro.netsim`) needs that the
+    flattened :class:`PhaseCost` aggregates no longer carry: the actual
+    per-piece source/destination/width vectors of the exchange, whether it
+    shipped through the Lenzen relay construction, and (in EXACT mode) the
+    materialised relay schedule itself.
+
+    Attributes:
+        n: clique size the exchange ran on.
+        kind: ``"route"`` / ``"send"`` / ``"broadcast"`` -- the logical
+            shape of the exchange.
+        src: ``(P,)`` int64 per-piece source node ids.  For broadcasts this
+            is ``arange(n)`` (one entry per broadcasting node).
+        dst: ``(P,)`` int64 per-piece destination ids, or ``None`` for
+            broadcasts (every node addresses all others).
+        widths: ``(P,)`` int64 words per piece (per broadcasting node for
+            broadcasts).
+        relayed: whether the exchange ships through the two-hop Lenzen
+            relay construction (``route``) rather than direct links.
+        schedule: the materialised, validated
+            :class:`~repro.clique.scheduling.RelaySchedule` when the clique
+            runs in EXACT mode (``None`` in FAST mode -- the transport
+            model then uses the oblivious balanced-spread closed form).
+    """
+
+    n: int
+    kind: str
+    src: "np.ndarray"
+    dst: "np.ndarray | None"
+    widths: "np.ndarray"
+    relayed: bool = False
+    schedule: "RelaySchedule | None" = None
+
+
+@runtime_checkable
+class CostObserver(Protocol):
+    """Anything a :class:`MeterStack` can fan a charge out to."""
+
+    def observe(self, cost: PhaseCost, traffic: PhaseTraffic | None) -> None:
+        """Record one charged phase (``traffic`` may be ``None``)."""
+
 
 @dataclass
 class CostMeter:
@@ -48,11 +137,19 @@ class CostMeter:
 
     phases: list[PhaseCost] = field(default_factory=list)
 
+    #: Cost meters never consume routing metadata; the stack skips building
+    #: :class:`PhaseTraffic` records unless some observer sets this.
+    needs_traffic = False
+
     def charge(self, cost: PhaseCost) -> None:
         """Record the cost of one completed phase."""
         if cost.rounds < 0:
             raise ValueError(f"negative round charge: {cost!r}")
         self.phases.append(cost)
+
+    def observe(self, cost: PhaseCost, traffic: PhaseTraffic | None = None) -> None:
+        """Observer protocol: a plain meter charges the cost, ignores traffic."""
+        self.charge(cost)
 
     @property
     def rounds(self) -> int:
@@ -113,6 +210,25 @@ class CostMeter:
             out[key] = out.get(key, 0) + p.rounds
         return out
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable meter summary (the ``--json`` CLI payload).
+
+        Totals plus the full per-phase breakdown; everything is a plain
+        JSON scalar, and :meth:`from_dict` restores an equal meter.
+        """
+        return {
+            "rounds": int(self.rounds),
+            "words": int(self.words),
+            "payloads": int(self.payloads),
+            "max_node_load": int(self.max_node_load),
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CostMeter":
+        """Inverse of :meth:`to_dict` (totals are recomputed, not trusted)."""
+        return cls(phases=[PhaseCost.from_dict(p) for p in data["phases"]])
+
     def report(self) -> str:
         """Human-readable per-phase cost table."""
         lines = [
@@ -128,4 +244,88 @@ class CostMeter:
         return "\n".join(lines)
 
 
-__all__ = ["PhaseCost", "CostMeter"]
+class MeterStack:
+    """A composable stack of charge observers (the metering seam).
+
+    The simulator charges every :class:`PhaseCost` here instead of on a
+    hard-wired meter; the stack fans the charge (and the optional
+    :class:`PhaseTraffic` record) out to every registered observer in
+    registration order.  Observer #0 is always the clique's primary
+    :class:`CostMeter`, so the abstract round/word bill is bit-identical
+    to the single-meter behaviour by construction -- additional observers
+    (abstract fault-free meters, transport cost models) are strictly
+    read-only riders and can never change what observer #0 sees.
+    """
+
+    def __init__(self, *observers: CostObserver) -> None:
+        self._observers: list[CostObserver] = list(observers)
+        self._muted: list[CostObserver] = []
+
+    @property
+    def observers(self) -> tuple[CostObserver, ...]:
+        """The registered observers, in fan-out order (muted ones included)."""
+        return tuple(self._observers)
+
+    def add_observer(self, observer: CostObserver) -> CostObserver:
+        """Register ``observer`` at the end of the fan-out order."""
+        if not callable(getattr(observer, "observe", None)):
+            raise TypeError(
+                f"meter-stack observers need an observe(cost, traffic) "
+                f"method, got {observer!r}"
+            )
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: CostObserver) -> None:
+        """Unregister ``observer`` (identity match; missing is an error)."""
+        for i, existing in enumerate(self._observers):
+            if existing is observer:
+                del self._observers[i]
+                return
+        raise ValueError(f"{observer!r} is not a registered observer")
+
+    @contextmanager
+    def muted(self, observer: CostObserver) -> Iterator[None]:
+        """Temporarily stop fanning charges out to ``observer``.
+
+        The encoded collectives use this to keep their abstract meter
+        phase-for-phase equal to a fault-free run: while an encoded
+        exchange ships (and bills its redundancy on the actual meter and
+        any transport observers), the abstract meter is muted and charged
+        the fault-free cost by hand.  Re-entrant and exception-safe.
+        """
+        self._muted.append(observer)
+        try:
+            yield
+        finally:
+            self._muted.remove(observer)
+
+    @property
+    def wants_traffic(self) -> bool:
+        """Whether any live (non-muted) observer consumes routing metadata.
+
+        The simulator only builds :class:`PhaseTraffic` records (which may
+        need per-pair demand analysis) when this is set, so the plain
+        round-metering path stays exactly as cheap as before the stack.
+        """
+        return any(
+            getattr(obs, "needs_traffic", False)
+            for obs in self._observers
+            if not any(obs is m for m in self._muted)
+        )
+
+    def charge(self, cost: PhaseCost, traffic: PhaseTraffic | None = None) -> None:
+        """Fan one charged phase out to every live observer."""
+        for obs in self._observers:
+            if any(obs is m for m in self._muted):
+                continue
+            obs.observe(cost, traffic)
+
+
+__all__ = [
+    "PhaseCost",
+    "PhaseTraffic",
+    "CostObserver",
+    "CostMeter",
+    "MeterStack",
+]

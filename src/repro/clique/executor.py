@@ -70,6 +70,12 @@ class LocalExecutor:
     #: kernel tile backend spec (``None`` = the process default); resolved
     #: per call so ``set_default_backend`` applies to shared executors.
     _backend_spec: "str | KernelBackend | None" = None
+    #: Shard-placement hint: when set (e.g. to an attached cost model's
+    #: topology locality-group width, a fat-tree pod size), sharded
+    #: executors snap their node-range boundaries to multiples of it so a
+    #: worker's range does not straddle a locality group unnecessarily.
+    #: Purely a partitioning choice -- values are bit-identical regardless.
+    placement_group: int | None = None
 
     @property
     def backend(self) -> KernelBackend:
@@ -182,6 +188,36 @@ def shard_ranges(batch: int, shards: int) -> list[tuple[int, int]]:
     if batch < 0 or shards < 1:
         raise ValueError(f"need batch >= 0 and shards >= 1, got {batch}/{shards}")
     return tile_ranges(batch, shards)
+
+
+def placement_ranges(
+    batch: int, shards: int, group: int | None = None
+) -> list[tuple[int, int]]:
+    """Shard ranges with boundaries snapped to locality-group multiples.
+
+    Same contract as :func:`shard_ranges` (``<= shards`` contiguous,
+    non-empty, gap-free ranges covering ``range(batch)``), but when a
+    ``group`` width is given -- the :attr:`LocalExecutor.placement_group`
+    hint derived from an attached cost model's topology (fat-tree pod
+    size) -- each interior boundary moves to the nearest multiple of
+    ``group`` that keeps the split valid.  Workers then own whole locality
+    groups wherever the arithmetic allows, so the node ranges a shard
+    computes line up with the hosts a pod serves.  The partition never
+    affects values (executors compute pure local products).
+    """
+    base = shard_ranges(batch, shards)
+    if group is None or group <= 1 or len(base) <= 1:
+        return base
+    snapped = [0]
+    for lo, _ in base[1:]:
+        cut = int(round(lo / group)) * group
+        # A boundary whose snap collides with the previous cut (or the
+        # ends) is dropped -- merging two ranges keeps the split valid and
+        # still <= shards ranges.
+        if snapped[-1] < cut < batch:
+            snapped.append(cut)
+    snapped.append(batch)
+    return list(zip(snapped[:-1], snapped[1:]))
 
 
 def _attach(name: str, shape: tuple[int, ...]):
@@ -403,7 +439,7 @@ class ShardedExecutor(LocalExecutor):
                     lo,
                     hi,
                 )
-                for lo, hi in shard_ranges(batch, self.shards)
+                for lo, hi in placement_ranges(batch, self.shards, self.placement_group)
             ]
             self._ensure_pool().map(_semiring_shard, tasks, chunksize=1)
             if with_witnesses:
@@ -439,7 +475,7 @@ class ShardedExecutor(LocalExecutor):
                     lo,
                     hi,
                 )
-                for lo, hi in shard_ranges(batch, self.shards)
+                for lo, hi in placement_ranges(batch, self.shards, self.placement_group)
             ]
             self._ensure_pool().map(_boolean_packed_shard, tasks, chunksize=1)
             return out.copy()
@@ -467,7 +503,7 @@ class ShardedExecutor(LocalExecutor):
             o_name, out = self._alloc(out_shape, segments)
             tasks = [
                 (ring.name, [l_name, r_name, o_name], l_shape, r_shape, out_shape, lo, hi)
-                for lo, hi in shard_ranges(batch, self.shards)
+                for lo, hi in placement_ranges(batch, self.shards, self.placement_group)
             ]
             self._ensure_pool().map(_ring_shard, tasks, chunksize=1)
             return out.copy()
@@ -503,4 +539,5 @@ __all__ = [
     "SERIAL_EXECUTOR",
     "make_executor",
     "shard_ranges",
+    "placement_ranges",
 ]

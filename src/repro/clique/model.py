@@ -47,7 +47,13 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.clique.accounting import CostMeter, PhaseCost
+from repro.clique.accounting import (
+    CostMeter,
+    CostObserver,
+    MeterStack,
+    PhaseCost,
+    PhaseTraffic,
+)
 from repro.clique.executor import SERIAL_EXECUTOR, LocalExecutor
 from repro.clique.messages import (
     block_widths,
@@ -103,7 +109,13 @@ class CongestedClique:
 
     Attributes:
         meter: the :class:`~repro.clique.accounting.CostMeter` accumulating
-            this clique's communication costs.
+            this clique's communication costs (observer #0 of ``meters``).
+        meters: the :class:`~repro.clique.accounting.MeterStack` every
+            primitive charges through; register further observers (e.g. a
+            :mod:`repro.netsim` transport meter, via
+            :meth:`attach_cost_model`) to ride along without perturbing
+            the primary bill.
+        transport: the attached transport cost model, or ``None``.
     """
 
     def __init__(
@@ -122,7 +134,39 @@ class CongestedClique:
             raise CliqueModelError(f"word size must be positive, got {self.word_bits}")
         self.mode = mode
         self.meter = CostMeter()
+        self.meters = MeterStack(self.meter)
+        self.transport: CostObserver | None = None
         self.executor = executor if executor is not None else SERIAL_EXECUTOR
+
+    def attach_cost_model(self, model) -> CostObserver:
+        """Register a transport cost model as a charge observer.
+
+        ``model`` is either a ready observer (anything with an
+        ``observe(cost, traffic)`` method, e.g. a
+        :class:`repro.netsim.TransportMeter`) or a spec carrying a
+        ``build(n, word_bits)`` factory (e.g.
+        :class:`repro.netsim.CostModelSpec`) -- the factory form lets
+        callers hand a topology *family* to :func:`repro.engine.make_clique`
+        before the padded clique size is known.  The observer is purely
+        observational: values, rounds, words and per-phase meters are
+        bit-identical with or without it (property-tested).  Returns the
+        attached observer, also kept as ``self.transport``.
+        """
+        build = getattr(model, "build", None)
+        if callable(build) and not callable(getattr(model, "observe", None)):
+            model = build(self.n, self.word_bits)
+        bind = getattr(model, "bind", None)
+        if callable(bind):
+            bind(self.n, self.word_bits)
+        self.meters.add_observer(model)
+        self.transport = model
+        # Shard-placement hint: align the sharded executor's node ranges
+        # to the topology's locality groups (fat-tree pods).  A pure
+        # partitioning choice -- never changes values or charges.
+        group = getattr(getattr(model, "topology", None), "group_size", None)
+        if group is not None and self.executor.shards > 1:
+            self.executor.placement_group = int(group)
+        return model
 
     # ------------------------------------------------------------------ #
     # Primitives
@@ -183,7 +227,82 @@ class CongestedClique:
 
     def _charge_broadcast(self, widths: list[int], phase: str) -> None:
         """Meter one all-to-all broadcast of per-node ``widths`` words."""
-        self.meter.charge(self._broadcast_cost(widths, phase))
+        self.meters.charge(
+            self._broadcast_cost(widths, phase), self._broadcast_traffic(widths)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing metadata for transport observers
+    # ------------------------------------------------------------------ #
+    #
+    # When (and only when) a traffic-consuming observer is registered on
+    # the meter stack, every charge also carries a PhaseTraffic record with
+    # the exchange's actual per-piece src/dst/width vectors -- the routing
+    # structure the flattened PhaseCost aggregates throw away.  The
+    # builders below are pure reads of already-materialised arrays (plus,
+    # in EXACT mode, a lookup of the memoised relay schedule), so the
+    # abstract charge path is untouched.
+
+    def _broadcast_traffic(self, widths: Sequence[int]) -> PhaseTraffic | None:
+        if not self.meters.wants_traffic:
+            return None
+        return PhaseTraffic(
+            n=self.n,
+            kind="broadcast",
+            src=np.arange(self.n, dtype=np.int64),
+            dst=None,
+            widths=np.asarray(widths, dtype=np.int64),
+        )
+
+    def _batch_traffic(
+        self, batch, kind: str, *, relayed: bool
+    ) -> PhaseTraffic | None:
+        if not self.meters.wants_traffic:
+            return None
+        schedule = None
+        if relayed and self.mode is ScheduleMode.EXACT:
+            profile = analyze_array(batch, with_demand=True)
+            if profile.demand:
+                schedule = self._traffic_schedule(profile.demand)
+        return PhaseTraffic(
+            n=self.n,
+            kind=kind,
+            src=batch.src,
+            dst=batch.dst,
+            widths=batch.widths,
+            relayed=relayed,
+            schedule=schedule,
+        )
+
+    def _traffic_schedule(self, demand):
+        """The relay schedule a transport observer should price.
+
+        Charged rounds always come from the canonical (identity-assigned)
+        schedule; when the attached cost model carries a topology, the
+        *priced* schedule instead uses the cost-aware relay-slot
+        assignment -- a round-equivalent choice (same matchings, same
+        batches, same ``2 * ceil(matchings / n)`` rounds) with shorter
+        modelled relay legs.  Both lookups are memoised per demand.
+        """
+        topology = getattr(self.transport, "topology", None)
+        return relay_schedule(demand, self.n, topology)
+
+    def _demand_traffic(
+        self, demand, kind: str, *, relayed: bool, schedule=None
+    ) -> PhaseTraffic | None:
+        if not self.meters.wants_traffic:
+            return None
+        items = sorted(demand.items())
+        count = len(items)
+        return PhaseTraffic(
+            n=self.n,
+            kind=kind,
+            src=np.fromiter((u for (u, _v), _c in items), np.int64, count),
+            dst=np.fromiter((v for (_u, v), _c in items), np.int64, count),
+            widths=np.fromiter((c for _pair, c in items), np.int64, count),
+            relayed=relayed,
+            schedule=schedule,
+        )
 
     def send(
         self,
@@ -213,7 +332,7 @@ class CongestedClique:
                 f"per-pair traffic of {rounds} words exceeds the asserted "
                 f"bound {expect_max_pair}"
             )
-        self.meter.charge(
+        self.meters.charge(
             PhaseCost(
                 phase=phase,
                 primitive="send",
@@ -222,7 +341,8 @@ class CongestedClique:
                 payloads=profile.payloads,
                 max_send_words=profile.max_send,
                 max_recv_words=profile.max_recv,
-            )
+            ),
+            self._demand_traffic(profile.demand, "send", relayed=False),
         )
         return deliver(outboxes, self.n)
 
@@ -247,12 +367,13 @@ class CongestedClique:
         self._validate(outboxes)
         profile = analyze(outboxes, self.n)
         enforce_load_bound(profile, expect_max_load)
+        schedule = None
         if self.mode is ScheduleMode.EXACT and profile.demand:
             schedule = relay_schedule(profile.demand, self.n)
             rounds = schedule.rounds
         else:
             rounds = relay_rounds_fast(profile.max_load, self.n)
-        self.meter.charge(
+        self.meters.charge(
             PhaseCost(
                 phase=phase,
                 primitive="route",
@@ -261,7 +382,17 @@ class CongestedClique:
                 payloads=profile.payloads,
                 max_send_words=profile.max_send,
                 max_recv_words=profile.max_recv,
-            )
+            ),
+            self._demand_traffic(
+                profile.demand,
+                "route",
+                relayed=True,
+                schedule=(
+                    self._traffic_schedule(profile.demand)
+                    if schedule is not None
+                    else None
+                ),
+            ),
         )
         return deliver(outboxes, self.n)
 
@@ -471,7 +602,10 @@ class CongestedClique:
         self, batch, phase: str, expect_max_load: int | None
     ) -> None:
         """Meter one routed array batch (shared by both delivery styles)."""
-        self.meter.charge(self._routed_batch_cost(batch, phase, expect_max_load))
+        self.meters.charge(
+            self._routed_batch_cost(batch, phase, expect_max_load),
+            self._batch_traffic(batch, "route", relayed=True),
+        )
 
     # ------------------------------------------------------------------ #
     # Delivery-interception seams (identity in the fault-free model)
@@ -522,7 +656,10 @@ class CongestedClique:
             batch = flatten_array_batch(dests, blocks, widths, tags, self.n)
         except ValueError as exc:
             raise CliqueModelError(str(exc)) from exc
-        self.meter.charge(self._direct_batch_cost(batch, phase, expect_max_pair))
+        self.meters.charge(
+            self._direct_batch_cost(batch, phase, expect_max_pair),
+            self._batch_traffic(batch, "send", relayed=False),
+        )
         batch = self._tamper_batch(batch, phase)
         return deliver_array(batch)
 
@@ -756,7 +893,18 @@ class CongestedClique:
             raise CliqueModelError(
                 f"non-positive word count {words_per_entry}"
             )
-        self.meter.charge(
+        traffic = None
+        if self.meters.wants_traffic:
+            u, v = np.divmod(np.arange(n * n, dtype=np.int64), n)
+            off = u != v
+            traffic = PhaseTraffic(
+                n=n,
+                kind="send",
+                src=u[off],
+                dst=v[off],
+                widths=np.full(n * (n - 1), words_per_entry, dtype=np.int64),
+            )
+        self.meters.charge(
             PhaseCost(
                 phase=phase,
                 primitive="send",
@@ -765,7 +913,8 @@ class CongestedClique:
                 payloads=n * n,
                 max_send_words=(n - 1) * words_per_entry,
                 max_recv_words=(n - 1) * words_per_entry,
-            )
+            ),
+            traffic,
         )
         return matrix.T.copy()
 

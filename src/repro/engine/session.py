@@ -118,6 +118,7 @@ def make_clique(
     fault_plan=None,
     fault_tolerance: int | None = None,
     fault_scheme: str = "replicate",
+    cost_model=None,
 ) -> CongestedClique:
     """A clique sized for an ``n``-node problem under ``method``.
 
@@ -139,6 +140,12 @@ def make_clique(
     (:class:`~repro.faults.FaultyClique`) -- useful only to demonstrate
     silent corruption.  With neither, the plain fault-free model is
     returned, untouched.
+
+    ``cost_model`` attaches a transport cost model (a
+    :class:`~repro.netsim.CostModelSpec` or ready observer; see
+    :meth:`~repro.clique.model.CongestedClique.attach_cost_model`) after
+    the clique -- fault layer included -- is built.  Purely observational:
+    values, rounds, words and meters are bit-identical with or without it.
     """
     size = required_clique_size(n, method)
     if not 1 <= shards <= size:
@@ -156,7 +163,7 @@ def make_clique(
         from repro.faults import FaultyClique
 
         if fault_tolerance is not None:
-            return FAULT_SCHEMES[fault_scheme](
+            clique = FAULT_SCHEMES[fault_scheme](
                 size,
                 plan=fault_plan,
                 tolerance=fault_tolerance,
@@ -164,19 +171,24 @@ def make_clique(
                 word_bits=word_bits,
                 executor=make_executor(shards, threads),
             )
-        return FaultyClique(
+        else:
+            clique = FaultyClique(
+                size,
+                plan=fault_plan,
+                mode=mode,
+                word_bits=word_bits,
+                executor=make_executor(shards, threads),
+            )
+    else:
+        clique = CongestedClique(
             size,
-            plan=fault_plan,
             mode=mode,
             word_bits=word_bits,
             executor=make_executor(shards, threads),
         )
-    return CongestedClique(
-        size,
-        mode=mode,
-        word_bits=word_bits,
-        executor=make_executor(shards, threads),
-    )
+    if cost_model is not None:
+        clique.attach_cost_model(cost_model)
+    return clique
 
 
 class EngineSession:
@@ -191,6 +203,10 @@ class EngineSession:
             raw bilinear ring products.
         algorithm: bilinear algorithm override (default: deepest Strassen
             power fitting the clique); ignored by the other engines.
+        cost_model: optional transport cost model
+            (:class:`~repro.netsim.CostModelSpec` or ready observer) to
+            attach to the clique -- purely observational; read the
+            resulting completion report via :attr:`transport`.
         packed_closure: keep Boolean closures on the §2.1 engine in uint64
             bit-packed form *across* squarings (kernel generation 3),
             unpacking once at the end.  Values, rounds, and meters are
@@ -212,12 +228,15 @@ class EngineSession:
         algebra: Semiring | RingOps = PLUS_TIMES,
         *,
         algorithm: BilinearAlgorithm | None = None,
+        cost_model=None,
         packed_closure: bool = True,
     ) -> None:
         if method not in MATMUL_METHODS:
             raise ValueError(
                 f"unknown matmul method {method!r} (choose from {MATMUL_METHODS})"
             )
+        if cost_model is not None:
+            clique.attach_cost_model(cost_model)
         self.clique = clique
         self.method = method
         self.algebra = algebra
@@ -282,6 +301,11 @@ class EngineSession:
     @property
     def meter(self) -> CostMeter:
         return self.clique.meter
+
+    @property
+    def transport(self):
+        """The attached transport cost model, or ``None``."""
+        return self.clique.transport
 
     @property
     def executor(self) -> LocalExecutor:
@@ -705,6 +729,7 @@ def open_session(
     fault_plan=None,
     fault_tolerance: int | None = None,
     fault_scheme: str = "replicate",
+    cost_model=None,
 ) -> EngineSession:
     """Build a session (and its clique/executor) for an ``n``-node problem.
 
@@ -722,6 +747,9 @@ def open_session(
         fault_plan / fault_tolerance / fault_scheme: see
             :func:`make_clique` -- only valid when the session builds the
             clique (an explicit ``clique`` already fixed its fault layer).
+        cost_model: transport cost model to attach (see
+            :func:`make_clique`); valid with an explicit ``clique`` too --
+            attaching is always observational.
     """
     if clique is None:
         clique = make_clique(
@@ -734,7 +762,9 @@ def open_session(
             fault_plan=fault_plan,
             fault_tolerance=fault_tolerance,
             fault_scheme=fault_scheme,
+            cost_model=cost_model,
         )
+        cost_model = None
     elif fault_plan is not None or fault_tolerance is not None:
         raise ValueError(
             "pass fault_plan/fault_tolerance only when the session builds "
@@ -752,7 +782,7 @@ def open_session(
         )
     return EngineSession(
         clique, method, algebra, algorithm=algorithm,
-        packed_closure=packed_closure,
+        cost_model=cost_model, packed_closure=packed_closure,
     )
 
 

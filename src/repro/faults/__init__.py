@@ -41,7 +41,6 @@ from repro.faults.protocol import (
     FAULT_SCHEMES,
     CodedClique,
     EncodedClique,
-    MirroredMeter,
     RobustClique,
 )
 
@@ -53,7 +52,6 @@ __all__ = [
     "EncodedClique",
     "RobustClique",
     "CodedClique",
-    "MirroredMeter",
     "FaultToleranceExceeded",
     "StripePlan",
     "majority_decode",

@@ -31,11 +31,17 @@ The protocol per exchange is scheme-independent:
    silent wrong answers, ever*: an encoded closure either equals the
    fault-free oracle edge-for-edge or raises.
 
-Meter separation: ``clique.meter`` (a :class:`MirroredMeter`) bills what
-the encoded run actually spends; ``clique.abstract_meter`` bills what the
-same workload costs on a fault-free clique -- phase-for-phase identical to
-the oracle's meter, so the redundancy overhead factor is just the ratio of
-the two round totals.
+Meter separation rides the meter stack
+(:class:`~repro.clique.accounting.MeterStack`): ``clique.meter`` (observer
+#0) bills what the encoded run actually spends, and
+``clique.abstract_meter`` is a plain second observer billing what the same
+workload costs on a fault-free clique.  Primitives that are not encoded
+fan out to both automatically; an encoded exchange *mutes* the abstract
+observer, charges it the fault-free cost by hand, and ships the redundant
+exchange through the stack -- so the abstract bill stays phase-for-phase
+identical to the oracle's meter (the overhead factor is the ratio of the
+two round totals) while transport cost models observe the encoded
+exchanges that actually hit the wire.
 """
 
 from __future__ import annotations
@@ -45,7 +51,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.clique.accounting import CostMeter, PhaseCost
+from repro.clique.accounting import CostMeter, PhaseCost, PhaseTraffic
 from repro.clique.messages import block_widths
 from repro.clique.routing import (
     ArrayBatch,
@@ -63,29 +69,6 @@ from repro.faults.plan import FaultPlan
 #: Decode callback: ``(tampered (P*c, ...), dropped (P*c,)) -> (decoded
 #: (P, ...), ok (P,))``.  Pieces with ``ok`` False carry no guarantee.
 DecodeFn = Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]
-
-
-class MirroredMeter(CostMeter):
-    """A cost meter that forwards every charge to a second, abstract meter.
-
-    The encoded clique points ``self.meter`` here: primitives that are not
-    encoded (tuple broadcasts, transposes, ...) cost the same with or
-    without faults, so they are billed on both meters.  The encoded
-    collectives flip ``mirror`` off and split the billing by hand --
-    redundant cost to the actual meter, fault-free cost to the abstract
-    one -- which keeps the abstract meter phase-for-phase equal to a
-    fault-free oracle run.
-    """
-
-    def __init__(self, abstract: CostMeter) -> None:
-        super().__init__()
-        self.abstract = abstract
-        self.mirror = True
-
-    def charge(self, cost: PhaseCost) -> None:
-        super().charge(cost)
-        if self.mirror:
-            self.abstract.charge(cost)
 
 
 class EncodedClique(FaultyClique):
@@ -134,8 +117,13 @@ class EncodedClique(FaultyClique):
         self.tolerance = tolerance
         self.max_retries = max_retries
         self._check_relay_budget()
+        # Second observer on the meter stack: primitives that are not
+        # encoded (tuple broadcasts, transposes, ...) cost the same with
+        # or without faults and fan out to both meters automatically; the
+        # encoded exchanges mute this observer and bill it the fault-free
+        # cost by hand (see _run_encoded).
         self.abstract_meter = CostMeter()
-        self.meter: MirroredMeter = MirroredMeter(self.abstract_meter)
+        self.meters.add_observer(self.abstract_meter)
         self.retries = 0
         self.decode_failures = 0
 
@@ -180,7 +168,7 @@ class EncodedClique(FaultyClique):
         copies: int,
         skip_enc: np.ndarray | None,
         abstract_cost: PhaseCost,
-        ship_costs: Callable[[int], list[PhaseCost]],
+        ship_costs: Callable[[int], list[tuple[PhaseCost, "PhaseTraffic | None"]]],
         decode: DecodeFn,
         phase: str,
     ) -> np.ndarray:
@@ -188,17 +176,20 @@ class EncodedClique(FaultyClique):
 
         ``pieces`` is the ``(P, ...)`` fault-free truth, ``encoded`` its
         ``(P * copies, ...)`` encoding.  ``ship_costs(exchange_id)`` yields
-        the actual-meter charges of one shipping attempt (relay assignment,
-        and hence broadcast balance, depends on the exchange id).
+        ``(cost, traffic)`` charges of one shipping attempt (relay
+        assignment, and hence broadcast balance, depends on the exchange
+        id); they go through the meter stack with the abstract observer
+        muted, so the actual meter *and* any transport cost model see the
+        encoded exchange while the abstract meter is billed the fault-free
+        cost by hand.
         """
         p = pieces.shape[0]
-        self.meter.mirror = False
-        try:
+        with self.meters.muted(self.abstract_meter):
             self.abstract_meter.charge(abstract_cost)
             for attempt in range(self.max_retries + 1):
                 exchange_id = self._next_exchange()
-                for cost in ship_costs(exchange_id):
-                    self.meter.charge(cost)
+                for cost, traffic in ship_costs(exchange_id):
+                    self.meters.charge(cost, traffic)
                 if self.plan is None or self.plan.t == 0:
                     return pieces
                 tampered, hit, dropped = corrupt_pieces(
@@ -222,8 +213,6 @@ class EncodedClique(FaultyClique):
                 f"{self.max_retries + 1} attempts (tolerance {self.tolerance}, "
                 f"fault kind {self.plan.kind.value!r}, budget t={self.plan.t})"
             )
-        finally:
-            self.meter.mirror = True
 
     def _encoded_routed(
         self, batch: ArrayBatch, abstract_cost: PhaseCost, phase: str
@@ -247,6 +236,7 @@ class EncodedClique(FaultyClique):
             tags=None,
         )
         enc_cost = self._routed_batch_cost(enc_batch, f"{phase}/encoded", None)
+        enc_traffic = self._batch_traffic(enc_batch, "route", relayed=True)
         skip_enc = np.repeat(batch.dst == batch.src, copies)
         return self._run_encoded(
             batch.blocks,
@@ -254,7 +244,7 @@ class EncodedClique(FaultyClique):
             copies,
             skip_enc,
             abstract_cost,
-            lambda _exchange_id: [enc_cost],
+            lambda _exchange_id: [(enc_cost, enc_traffic)],
             decode,
             phase,
         )
@@ -281,7 +271,9 @@ class EncodedClique(FaultyClique):
         encoded, enc_widths, copies, decode = self._encode(pieces, piece_widths)
         enc_owners = np.repeat(owners, copies)
 
-        def ship_costs(exchange_id: int) -> list[PhaseCost]:
+        def ship_costs(
+            exchange_id: int,
+        ) -> list[tuple[PhaseCost, "PhaseTraffic | None"]]:
             relays = disjoint_relays(p, copies, n, salt=exchange_id).reshape(-1)
             fan_batch = ArrayBatch(
                 n=n,
@@ -292,12 +284,13 @@ class EncodedClique(FaultyClique):
                 tags=None,
             )
             fan_cost = self._routed_batch_cost(fan_batch, f"{phase}/fanout", None)
+            fan_traffic = self._batch_traffic(fan_batch, "route", relayed=True)
             per_relay = np.zeros(n, dtype=np.int64)
             np.add.at(per_relay, relays, enc_widths)
-            bcast_cost = self._broadcast_cost(
-                [int(w) for w in per_relay], f"{phase}/encoded"
-            )
-            return [fan_cost, bcast_cost]
+            relay_widths = [int(w) for w in per_relay]
+            bcast_cost = self._broadcast_cost(relay_widths, f"{phase}/encoded")
+            bcast_traffic = self._broadcast_traffic(relay_widths)
+            return [(fan_cost, fan_traffic), (bcast_cost, bcast_traffic)]
 
         return self._run_encoded(
             pieces,
@@ -570,6 +563,5 @@ __all__ = [
     "CodedClique",
     "EncodedClique",
     "FAULT_SCHEMES",
-    "MirroredMeter",
     "RobustClique",
 ]
